@@ -1,0 +1,25 @@
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+# Re-render every paper table/figure into benchmarks/results/.
+results:
+	python -m pytest benchmarks/ -q --benchmark-disable
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+		benchmarks/results .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

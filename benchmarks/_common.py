@@ -1,0 +1,72 @@
+"""Builders shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import KVDirectConfig
+from repro.core.operations import KVOperation
+from repro.core.processor import KVProcessor, run_closed_loop
+from repro.core.store import KVDirectStore
+from repro.sim import Simulator
+from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
+
+#: Scaled-down default sizes: ratios (index ratio, NIC:host = 1:16,
+#: utilization) match the paper; absolute sizes are laptop-scale.
+DEFAULT_MEMORY = 8 << 20
+
+
+def build_store(
+    memory_size: int = DEFAULT_MEMORY,
+    fill_utilization: Optional[float] = None,
+    kv_size: int = 13,
+    **overrides,
+) -> Tuple[KVDirectStore, int]:
+    """A store, optionally pre-filled; returns (store, inserted count)."""
+    store = KVDirectStore.create(memory_size=memory_size, **overrides)
+    count = 0
+    if fill_utilization is not None:
+        count = store.fill_to_utilization(fill_utilization, kv_size)
+        store.reset_measurements()
+    return store, count
+
+
+def build_processor(
+    memory_size: int = DEFAULT_MEMORY,
+    fill_utilization: Optional[float] = None,
+    kv_size: int = 13,
+    **overrides,
+) -> Tuple[Simulator, KVDirectStore, KVProcessor, int]:
+    sim = Simulator()
+    store, count = build_store(
+        memory_size, fill_utilization, kv_size, **overrides
+    )
+    return sim, store, KVProcessor(sim, store), count
+
+
+def ycsb_setup(
+    spec: WorkloadSpec,
+    kv_size: int,
+    corpus: int = 4000,
+    memory_size: int = DEFAULT_MEMORY,
+    ops: int = 5000,
+    **overrides,
+) -> Tuple[Simulator, KVProcessor, List[KVOperation]]:
+    """A processor pre-loaded with a YCSB corpus plus its op stream."""
+    sim = Simulator()
+    store = KVDirectStore.create(memory_size=memory_size, **overrides)
+    keyspace = KeySpace(count=corpus, kv_size=kv_size)
+    for key, value in keyspace.pairs():
+        store.put(key, value)
+    store.reset_measurements()
+    processor = KVProcessor(sim, store)
+    generator = YCSBGenerator(keyspace, spec)
+    return sim, processor, generator.operations(ops)
+
+
+def measure_throughput(
+    processor: KVProcessor,
+    ops: List[KVOperation],
+    concurrency: int = 250,
+) -> dict:
+    return run_closed_loop(processor, ops, concurrency=concurrency)

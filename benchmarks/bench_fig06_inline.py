@@ -1,0 +1,104 @@
+"""Figure 6: average memory access count vs memory utilization, for
+inline thresholds 10 / 15 / 20 / 25 B.
+
+The threshold only matters when KV sizes are mixed ("assuming that smaller
+and larger keys are equally likely to be accessed"): KVs at or below the
+threshold live inline in the index, the rest behind pointers.  Paper shape:
+access count rises with utilization (hash collisions); a higher threshold
+starts lower (more KVs inline) but grows more steeply (inline KVs burn
+slots, causing earlier bucket overflow).
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.analysis.report import format_series
+from repro.core.config import KVDirectConfig
+from repro.core.store import KVDirectStore
+from repro.errors import CapacityError
+
+THRESHOLDS = [10, 15, 20, 25]
+UTILIZATIONS = [0.15, 0.25, 0.35, 0.45]
+#: Mixed KV sizes, 9-30 B (8 B keys + 1-22 B values), equally likely.
+KV_SIZES = [9, 13, 17, 21, 25, 30]
+MEMORY = 2 << 20
+
+
+def measure_mixed(
+    utilization: float, inline_threshold: int, probe: int = 600
+) -> Optional[float]:
+    """Mean accesses per op at a utilization, or None if out of memory."""
+    config = KVDirectConfig(
+        memory_size=MEMORY,
+        hash_index_ratio=0.5,
+        inline_threshold=inline_threshold,
+    )
+    store = KVDirectStore(config)
+    count = 0
+    try:
+        while store.utilization() < utilization:
+            size = KV_SIZES[count % len(KV_SIZES)]
+            store.put(count.to_bytes(8, "big"), b"\xab" * (size - 8))
+            count += 1
+    except CapacityError:
+        return None
+    store.reset_measurements()
+    step = max(1, count // probe)
+    while step % 2 == 0 or step % 3 == 0:
+        step += 1  # keep the probe stride coprime to the size cycle
+    for i in range(0, count, step):
+        store.get(i.to_bytes(8, "big"))
+    for i in range(0, count, step):
+        size = KV_SIZES[i % len(KV_SIZES)]
+        store.put(i.to_bytes(8, "big"), b"\xcd" * (size - 8))
+    return (store.table.get_cost.mean + store.table.put_cost.mean) / 2.0
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return {
+        threshold: [measure_mixed(u, threshold) for u in UTILIZATIONS]
+        for threshold in THRESHOLDS
+    }
+
+
+def test_fig06_inline_threshold_sweep(benchmark, figure6, emit):
+    benchmark.pedantic(
+        lambda: measure_mixed(0.25, 15, probe=200), rounds=1, iterations=1
+    )
+    emit(
+        "fig06_inline_thresholds",
+        format_series(
+            "Figure 6: memory accesses vs utilization by inline threshold "
+            "(mixed 9-30 B KVs)",
+            "utilization",
+            UTILIZATIONS,
+            [
+                (
+                    f"{t}B inline",
+                    [v if v is not None else float("nan") for v in figure6[t]],
+                )
+                for t in THRESHOLDS
+            ],
+        ),
+    )
+    for threshold in THRESHOLDS:
+        values = [v for v in figure6[threshold] if v is not None]
+        assert len(values) >= 2
+        # Monotone-ish growth with utilization (allow sampling noise).
+        assert values[-1] >= values[0] - 0.05
+        # Low utilization: near the inline ideal of 1.5 (GET 1 / PUT 2),
+        # plus the non-inline share's extra access.
+        assert values[0] < 2.6
+
+
+def test_fig06_higher_threshold_inlines_more(benchmark):
+    """More inlining means cheaper ops at low utilization."""
+
+    def costs():
+        return measure_mixed(0.15, 25), measure_mixed(0.15, 10)
+
+    high, low = benchmark.pedantic(costs, rounds=1, iterations=1)
+    assert high is not None and low is not None
+    assert high < low  # threshold 25 inlines 5/6 of sizes; 10 only 1/6

@@ -1,0 +1,113 @@
+"""Figure 9: memory access count for inline vs non-inline ("offline") KVs.
+
+(a) vs hash index ratio at fixed memory utilization 0.5 (paper) /
+    0.3 (here - our 2-byte inline header shifts the achievable band down;
+    ratios are swept over the feasible region).
+    Paper shape: more index -> more KVs inline -> fewer accesses.
+(b) vs memory utilization at fixed hash index ratio 0.5.
+    Paper shape: accesses grow with utilization; non-inline pays +1.
+"""
+
+import pytest
+
+from repro.analysis.report import format_series
+from repro.core.tuning import measure_access_count, sweep_hash_index_ratio
+
+MEMORY = 2 << 20
+INLINE_KV = 13  # stored inline when threshold allows
+OFFLINE_KV = 30  # always behind a pointer (threshold 20)
+RATIOS = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+UTILIZATIONS = [0.15, 0.25, 0.35]
+
+
+def _measure(kv_size, utilization, ratio):
+    return measure_access_count(
+        kv_size,
+        utilization,
+        ratio,
+        inline_threshold=20,
+        memory_size=MEMORY,
+        probe_ops=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def figure9a():
+    inline, offline = [], []
+    for ratio in RATIOS:
+        point = _measure(INLINE_KV, 0.3, ratio)
+        inline.append(point.mean_accesses if point else float("nan"))
+        point = _measure(OFFLINE_KV, 0.3, ratio)
+        offline.append(point.mean_accesses if point else float("nan"))
+    return inline, offline
+
+
+@pytest.fixture(scope="module")
+def figure9b():
+    inline, offline = [], []
+    for utilization in UTILIZATIONS:
+        point = _measure(INLINE_KV, utilization, 0.5)
+        inline.append(point.mean_accesses if point else float("nan"))
+        point = _measure(OFFLINE_KV, utilization, 0.5)
+        offline.append(point.mean_accesses if point else float("nan"))
+    return inline, offline
+
+
+def test_fig09a_vs_hash_index_ratio(benchmark, figure9a, emit):
+    inline, offline = figure9a
+    benchmark.pedantic(
+        lambda: _measure(INLINE_KV, 0.2, 0.5), rounds=1, iterations=1
+    )
+    emit(
+        "fig09a_hash_index_ratio",
+        format_series(
+            "Figure 9a: accesses vs hash index ratio (utilization 0.3)",
+            "index ratio",
+            RATIOS,
+            [("inline KV", inline), ("non-inline KV", offline)],
+        ),
+    )
+    valid_inline = [v for v in inline if v == v]
+    valid_offline = [v for v in offline if v == v]
+    # Non-inline KVs pay the extra record access everywhere.
+    for i, ratio in enumerate(RATIOS):
+        if inline[i] == inline[i] and offline[i] == offline[i]:
+            assert offline[i] > inline[i]
+    # A larger index reduces collisions for inline KVs.
+    assert valid_inline[-1] <= valid_inline[0] + 0.05
+
+
+def test_fig09b_vs_memory_utilization(benchmark, figure9b, emit):
+    inline, offline = figure9b
+    benchmark.pedantic(
+        lambda: _measure(OFFLINE_KV, 0.15, 0.5), rounds=1, iterations=1
+    )
+    emit(
+        "fig09b_memory_utilization",
+        format_series(
+            "Figure 9b: accesses vs memory utilization (index ratio 0.5)",
+            "utilization",
+            UTILIZATIONS,
+            [("inline KV", inline), ("non-inline KV", offline)],
+        ),
+    )
+    valid_inline = [v for v in inline if v == v]
+    assert valid_inline[-1] >= valid_inline[0] - 0.05  # grows with load
+    for i in range(len(UTILIZATIONS)):
+        if inline[i] == inline[i] and offline[i] == offline[i]:
+            assert offline[i] >= inline[i] + 0.5  # the +1 access, averaged
+
+
+def test_fig09_sweep_helper(benchmark):
+    """The library-level sweep helper returns feasible, ordered points."""
+    points = benchmark.pedantic(
+        lambda: sweep_hash_index_ratio(
+            INLINE_KV, 0.2, 20, ratios=(0.3, 0.5), memory_size=1 << 20
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) >= 1
+    for point in points:
+        assert 1.0 <= point.get_accesses <= 4.0
+        assert 2.0 <= point.put_accesses <= 5.0

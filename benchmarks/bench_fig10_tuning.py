@@ -1,0 +1,79 @@
+"""Figure 10: the optimal hash index ratio for a required memory
+utilization.
+
+Paper: the maximal achievable utilization drops as the index ratio grows
+(less memory for dynamic allocation), so the required utilization imposes
+an upper bound on the ratio; choosing that bound minimizes average memory
+accesses (the dashed line in the figure).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.tuning import (
+    measure_access_count,
+    optimal_hash_index_ratio,
+)
+from repro.errors import CapacityError
+
+MEMORY = 2 << 20
+#: Non-inline KV (threshold 20): the index and the dynamic area genuinely
+#: compete for memory, which is what creates Figure 10's trade-off.
+KV_SIZE = 30
+TARGETS = [0.1, 0.2, 0.3]
+RATIOS = tuple(i / 10 for i in range(1, 10))
+
+
+@pytest.fixture(scope="module")
+def figure10():
+    rows = []
+    for target in TARGETS:
+        try:
+            ratio, accesses = optimal_hash_index_ratio(
+                KV_SIZE, target, inline_threshold=20,
+                ratios=RATIOS, memory_size=MEMORY,
+            )
+        except CapacityError:
+            rows.append((target, float("nan"), float("nan")))
+            continue
+        rows.append((target, ratio, accesses))
+    return rows
+
+
+def test_fig10_optimal_ratio(benchmark, figure10, emit):
+    benchmark.pedantic(
+        lambda: optimal_hash_index_ratio(
+            KV_SIZE, 0.15, 20, ratios=(0.3, 0.6), memory_size=1 << 20
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig10_optimal_ratio",
+        format_table(
+            "Figure 10: optimal hash index ratio per required utilization "
+            f"({KV_SIZE} B KVs)",
+            ["required utilization", "optimal index ratio", "min accesses"],
+            figure10,
+        ),
+    )
+    valid = [(t, r, a) for t, r, a in figure10 if r == r]
+    assert len(valid) >= 2
+    # Higher required utilization forces a lower (or equal) index ratio.
+    ratios = [r for __, r, __a in valid]
+    assert ratios == sorted(ratios, reverse=True) or len(set(ratios)) == 1
+    # And costs more accesses.
+    accesses = [a for __, __r, a in valid]
+    assert accesses[-1] >= accesses[0] - 0.05
+
+
+def test_fig10_infeasible_region_detected(benchmark):
+    """Past the achievable-utilization cliff the optimizer reports it."""
+
+    def probe():
+        return measure_access_count(
+            KV_SIZE, 0.9, 0.9, 20, memory_size=1 << 20, probe_ops=100
+        )
+
+    point = benchmark.pedantic(probe, rounds=1, iterations=1)
+    assert point is None  # 90 % utilization with a 90 % index: impossible

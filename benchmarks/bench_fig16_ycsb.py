@@ -1,0 +1,124 @@
+"""Figure 16: KV-Direct throughput under YCSB, vs KV size.
+
+(a) uniform, (b) long-tail (Zipf 0.99); PUT ratios 0/5/50/100 %.
+
+Paper shape: tiny inline KVs run near the clock/PCIe bound; throughput
+falls with KV size (hash collisions for inline, network bytes for large);
+long-tail is faster than uniform (NIC DRAM caching + OoO merging of hot
+keys); higher PUT ratios are slower (two accesses per PUT).
+"""
+
+import pytest
+
+from repro.analysis.report import format_series
+from repro.core.processor import KVProcessor, run_closed_loop
+from repro.core.store import KVDirectStore
+from repro.sim import Simulator
+from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
+
+KV_SIZES = [10, 15, 62, 126]
+PUT_RATIOS = [0.0, 0.5, 1.0]
+OPS = 4000
+CORPUS = 5000
+MEMORY = 8 << 20
+
+
+def _throughput(kv_size: int, put_ratio: float, distribution: str) -> float:
+    sim = Simulator()
+    store = KVDirectStore.create(memory_size=MEMORY)
+    keyspace = KeySpace(count=CORPUS, kv_size=kv_size)
+    for key, value in keyspace.pairs():
+        store.put(key, value)
+    store.reset_measurements()
+    processor = KVProcessor(sim, store)
+    generator = YCSBGenerator(
+        keyspace, WorkloadSpec(put_ratio=put_ratio, distribution=distribution)
+    )
+    stats = run_closed_loop(
+        processor, generator.operations(OPS), concurrency=250
+    )
+    return stats["throughput_mops"]
+
+
+@pytest.fixture(scope="module")
+def figure16():
+    data = {}
+    for distribution in ("uniform", "zipf"):
+        for put_ratio in PUT_RATIOS:
+            data[(distribution, put_ratio)] = [
+                _throughput(size, put_ratio, distribution)
+                for size in KV_SIZES
+            ]
+    return data
+
+
+def _emit_panel(emit, data, distribution, label):
+    emit(
+        f"fig16{label}_{distribution}",
+        format_series(
+            f"Figure 16{label}: YCSB throughput (Mops), {distribution}",
+            "KV size (B)",
+            KV_SIZES,
+            [
+                (f"{int(r * 100)}% PUT", data[(distribution, r)])
+                for r in PUT_RATIOS
+            ],
+        ),
+    )
+
+
+def test_fig16a_uniform(benchmark, figure16, emit):
+    benchmark.pedantic(
+        lambda: _throughput(10, 0.0, "uniform"), rounds=1, iterations=1
+    )
+    _emit_panel(emit, figure16, "uniform", "a")
+    get_series = figure16[("uniform", 0.0)]
+    put_series = figure16[("uniform", 1.0)]
+    # Small inline KVs land in the 100+ Mops band (paper: ~120 uniform).
+    assert get_series[0] > 80.0
+    # GETs beat PUTs for small inline KVs (1 vs 2 accesses).
+    assert get_series[0] > put_series[0]
+    # Throughput declines toward larger, non-inline KVs.
+    assert get_series[-1] < get_series[0]
+
+
+def test_fig16b_longtail(benchmark, figure16, emit):
+    benchmark.pedantic(
+        lambda: _throughput(10, 0.0, "zipf"), rounds=1, iterations=1
+    )
+    _emit_panel(emit, figure16, "zipf", "b")
+    get_series = figure16[("zipf", 0.0)]
+    # Long-tail, read-intensive: near the clock bound (paper: 180 Mops).
+    assert get_series[0] > 120.0
+    # Long-tail >= uniform at every KV size (caching + OoO merging).
+    for i in range(len(KV_SIZES)):
+        assert (
+            figure16[("zipf", 0.0)][i]
+            >= figure16[("uniform", 0.0)][i] * 0.9
+        )
+
+
+def test_fig16_inline_threshold_boundary(benchmark, emit):
+    """62 B KVs are non-inline: one extra access drops throughput versus
+    a 15 B inline KV under the same mix."""
+
+    def pair():
+        return (
+            _throughput(15, 0.5, "uniform"),
+            _throughput(62, 0.5, "uniform"),
+        )
+
+    inline_tput, offline_tput = benchmark.pedantic(
+        pair, rounds=1, iterations=1
+    )
+    emit(
+        "fig16_inline_boundary",
+        format_series(
+            "Figure 16 detail: inline (15 B) vs non-inline (62 B), "
+            "uniform 50 % PUT",
+            "KV size (B)",
+            [15, 62],
+            [("Mops", [inline_tput, offline_tput])],
+        ),
+    )
+    assert inline_tput > offline_tput

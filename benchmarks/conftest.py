@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+section: it computes the same rows/series, renders them with
+:mod:`repro.analysis.report`, prints them (visible with ``pytest -s``) and
+writes them to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(name, text): print a rendered table and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""A parameter server for sparse logistic regression on KV-Direct.
+
+Section 2.1: "model parameters in machine learning" are a canonical
+KVS-as-infrastructure workload - "sparse parameters in linear regression"
+are accessed "in large batches", and in sparse logistic regression "the KV
+size is typically 8B-16B".
+
+The model is sharded as one vector value per feature block; workers pull
+blocks with GET, compute gradients locally, and push updates with the
+NIC-side vector2vector UPDATE - the server applies ``w -= lr * g``
+atomically without shipping the whole model back and forth or involving
+the host CPU.
+
+Trains on a synthetic linearly separable dataset and reports accuracy.
+
+Run:  python examples/parameter_server.py
+"""
+
+import math
+import random
+import struct
+
+from repro import KVDirectStore
+from repro.core.vector import FuncKind
+
+#: Fixed-point scale for weights and gradients.
+SCALE = 1 << 16
+
+BLOCK = 8  # features per parameter block (16 B-ish KVs per element group)
+
+
+def pack(values):
+    return struct.pack("<%dq" % len(values), *values)
+
+
+def unpack(data):
+    return list(struct.unpack("<%dq" % (len(data) // 8), data))
+
+
+def synthesize(features, samples, seed=7):
+    """Linearly separable data with a known ground-truth weight vector."""
+    rng = random.Random(seed)
+    truth = [rng.uniform(-1, 1) for __ in range(features)]
+    data = []
+    for __ in range(samples):
+        x = [rng.uniform(-1, 1) for __ in range(features)]
+        margin = sum(w * xi for w, xi in zip(truth, x))
+        data.append((x, 1 if margin > 0 else 0))
+    return data, truth
+
+
+def sigmoid(z):
+    if z < -30:
+        return 0.0
+    if z > 30:
+        return 1.0
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+class ParameterServer:
+    """Feature blocks stored as vector values in the KVS."""
+
+    def __init__(self, store: KVDirectStore, features: int) -> None:
+        self.store = store
+        self.features = features
+        self.blocks = (features + BLOCK - 1) // BLOCK
+        # w -= delta, computed NIC-side per element.
+        self.apply_grad = store.register_function(
+            FuncKind.UPDATE, lambda w, d: w - d, name="sgd_step"
+        )
+        for b in range(self.blocks):
+            width = min(BLOCK, features - b * BLOCK)
+            store.put(b"w:%d" % b, pack([0] * width))
+
+    def pull(self):
+        """Fetch the full model (one GET per block)."""
+        weights = []
+        for b in range(self.blocks):
+            weights.extend(unpack(self.store.get(b"w:%d" % b)))
+        return [w / SCALE for w in weights]
+
+    def push(self, gradient, learning_rate):
+        """Push lr * g; the NIC applies the update atomically per block."""
+        for b in range(self.blocks):
+            chunk = gradient[b * BLOCK : (b + 1) * BLOCK]
+            deltas = [int(learning_rate * g * SCALE) for g in chunk]
+            if any(deltas):
+                self.store.update_vector2vector(
+                    b"w:%d" % b, self.apply_grad, pack(deltas)
+                )
+
+
+def main() -> None:
+    features, samples = 32, 400
+    data, __truth = synthesize(features, samples)
+    train, test = data[: samples // 2], data[samples // 2 :]
+
+    store = KVDirectStore.create(memory_size=16 << 20)
+    server = ParameterServer(store, features)
+
+    learning_rate, epochs, batch = 0.5, 30, 20
+    for epoch in range(epochs):
+        random.Random(epoch).shuffle(train)
+        for start in range(0, len(train), batch):
+            minibatch = train[start : start + batch]
+            weights = server.pull()
+            gradient = [0.0] * features
+            for x, y in minibatch:
+                z = sum(w * xi for w, xi in zip(weights, x))
+                error = sigmoid(z) - y
+                for i, xi in enumerate(x):
+                    gradient[i] += error * xi / len(minibatch)
+            server.push(gradient, learning_rate)
+
+    weights = server.pull()
+    correct = sum(
+        (sigmoid(sum(w * xi for w, xi in zip(weights, x))) > 0.5) == bool(y)
+        for x, y in test
+    )
+    accuracy = correct / len(test)
+    print(f"sparse logistic regression: {features} features, "
+          f"{len(train)} train / {len(test)} test samples")
+    print(f"test accuracy after {epochs} epochs: {accuracy:.1%}")
+    assert accuracy > 0.85, "training failed to converge"
+
+    stats = store.dma_stats()
+    print(f"KVS ops -> mean DMA/GET {stats['get_mean_accesses']:.2f}, "
+          f"vector updates applied NIC-side (no model round-trips)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""KV-Direct reproduction (SOSP 2017).
+
+A production-quality Python reproduction of *KV-Direct: High-Performance
+In-Memory Key-Value Store with Programmable NIC* (Li et al., SOSP 2017).
+
+The package implements the paper's KV processor - hash table, slab memory
+allocator, out-of-order execution engine, DRAM load dispatcher, and vector
+operations - as real data structures over byte-addressable memory images,
+coupled to a cycle-approximate discrete-event simulation of the FPGA NIC,
+PCIe links, NIC DRAM, and 40 GbE network.
+
+Quickstart::
+
+    from repro import KVDirectStore
+
+    store = KVDirectStore.create(memory_size=64 << 20)
+    store.put(b"answer", b"42")
+    assert store.get(b"answer") == b"42"
+    print(store.dma_stats())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    KeyTooLargeError,
+    KVDirectError,
+    ProtocolError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "CapacityError",
+    "ConfigurationError",
+    "KVDirectConfig",
+    "KVDirectError",
+    "KVDirectStore",
+    "KeyTooLargeError",
+    "ProtocolError",
+    "SimulationError",
+    "__version__",
+]
+
+# The heavyweight public classes are imported lazily (PEP 562) so that
+# importing a leaf subpackage (e.g. ``repro.sim``) never drags in the whole
+# stack, and so partial installs remain importable during development.
+_LAZY = {
+    "KVDirectStore": ("repro.core.store", "KVDirectStore"),
+    "KVDirectConfig": ("repro.core.config", "KVDirectConfig"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

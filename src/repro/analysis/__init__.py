@@ -1,0 +1,12 @@
+"""Analysis utilities: power-efficiency model and report rendering."""
+
+from repro.analysis.power import PowerModel, SystemComparison, TABLE3_SYSTEMS
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "PowerModel",
+    "SystemComparison",
+    "TABLE3_SYSTEMS",
+    "format_series",
+    "format_table",
+]

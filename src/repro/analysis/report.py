@@ -1,0 +1,67 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output format consistent across all of
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    string_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        string_rows.append([_format_cell(c) for c in row])
+    widths = [
+        max(len(row[i]) for row in string_rows)
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    for index, row in enumerate(string_rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("-" * len(lines[-1]))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Cell],
+    series: Sequence[tuple],
+) -> str:
+    """Render figure-style data: one x column, one column per series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    headers = [x_label] + [name for name, __ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[Cell] = [x]
+        for __, values in series:
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(title, headers, rows)

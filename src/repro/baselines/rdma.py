@@ -1,0 +1,72 @@
+"""Analytic RDMA-based KVS models (sections 2.2, 5.1.3; Figure 13).
+
+Two-sided RDMA (HERD-style): the NIC delivers messages, server CPU
+processes KV ops - bounded by min(NIC message rate, CPU throughput).
+
+One-sided RDMA (Pilaf/FaRM-style): clients GET with 1 + epsilon READs, but
+PUTs need multiple round trips (lock/insert/unlock or CPU fallback), and
+atomics serialize on internal NIC locks: the paper measures 2.24 Mops for
+single-key RDMA atomics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TwoSidedRDMAModel:
+    """Server-CPU-bound RPC KVS over a message-rate-limited NIC."""
+
+    cores: int = 16
+    nic_message_rate: float = constants.RDMA_NIC_MESSAGE_RATE[1]
+    ops_per_core: float = constants.CPU_CORE_KV_OPS_BATCHED
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("cores must be positive")
+
+    def throughput(self) -> float:
+        """min(NIC message rate, aggregate CPU rate), ops/s."""
+        return min(self.nic_message_rate, self.cores * self.ops_per_core)
+
+    def atomics_throughput(self, distinct_keys: int = 1) -> float:
+        """Atomics execute on the server CPU; one core per hot key."""
+        per_key = self.ops_per_core
+        return min(self.throughput(), distinct_keys * per_key)
+
+
+@dataclass(frozen=True)
+class OneSidedRDMAModel:
+    """Client-driven KVS using one-sided READ/WRITE/atomics."""
+
+    nic_message_rate: float = constants.RDMA_NIC_MESSAGE_RATE[1]
+    #: READs per GET (hash-index probe + value; >1 under collisions).
+    reads_per_get: float = 1.3
+    #: Round trips per PUT (lock + write + unlock, per section 2.2).
+    round_trips_per_put: float = 3.0
+    #: Measured single-key atomics rate (internal NIC lock serializes).
+    atomics_rate: float = constants.RDMA_ATOMICS_OPS
+
+    def get_throughput(self) -> float:
+        return self.nic_message_rate / self.reads_per_get
+
+    def put_throughput(self) -> float:
+        return self.nic_message_rate / self.round_trips_per_put
+
+    def throughput(self, put_ratio: float) -> float:
+        """Harmonic blend of GET/PUT service rates."""
+        if not 0.0 <= put_ratio <= 1.0:
+            raise ConfigurationError("put ratio must be in [0, 1]")
+        get_cost = 1.0 / self.get_throughput()
+        put_cost = 1.0 / self.put_throughput()
+        return 1.0 / ((1 - put_ratio) * get_cost + put_ratio * put_cost)
+
+    def atomics_throughput(self, distinct_keys: int = 1) -> float:
+        """Per-key atomics serialize; spread across keys until NIC-bound."""
+        return min(
+            self.nic_message_rate, distinct_keys * self.atomics_rate
+        )

@@ -1,0 +1,331 @@
+"""Command-line interface: run KV-Direct experiments without writing code.
+
+::
+
+    python -m repro info
+    python -m repro ycsb --kv-size 13 --put-ratio 0.5 --distribution zipf
+    python -m repro atomics --keys 1 --no-ooo
+    python -m repro pcie --payload 64
+    python -m repro tune --kv-size 30 --utilization 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+from typing import List, Optional
+
+from repro import constants, __version__
+from repro.analysis.report import format_table
+from repro.core.operations import KVOperation
+from repro.core.processor import KVProcessor, run_closed_loop
+from repro.core.store import KVDirectStore
+from repro.core.tuning import optimal_hash_index_ratio
+from repro.core.vector import FETCH_ADD
+from repro.pcie import DMAEngine, PCIeLinkConfig
+from repro.sim import Simulator
+from repro.sim.stats import mops
+from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KV-Direct (SOSP 2017) reproduction experiments",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="show the modelled hardware constants")
+
+    ycsb = sub.add_parser("ycsb", help="run a YCSB workload (Figures 16/17)")
+    ycsb.add_argument("--kv-size", type=int, default=13)
+    ycsb.add_argument("--put-ratio", type=float, default=0.0)
+    ycsb.add_argument(
+        "--distribution", choices=("uniform", "zipf"), default="uniform"
+    )
+    ycsb.add_argument("--ops", type=int, default=5000)
+    ycsb.add_argument("--corpus", type=int, default=5000)
+    ycsb.add_argument("--memory-mib", type=int, default=8)
+    ycsb.add_argument("--concurrency", type=int, default=250)
+    ycsb.add_argument(
+        "--no-ooo", action="store_true", help="disable out-of-order execution"
+    )
+    ycsb.add_argument(
+        "--no-nic-dram", action="store_true", help="disable the DRAM cache"
+    )
+    ycsb.add_argument(
+        "--standard",
+        choices=("A", "B", "C", "D", "F"),
+        help="use a standard YCSB core workload instead of put-ratio/"
+             "distribution",
+    )
+
+    atomics = sub.add_parser(
+        "atomics", help="single/multi-key atomics (Figure 13a)"
+    )
+    atomics.add_argument("--keys", type=int, default=1)
+    atomics.add_argument("--ops", type=int, default=3000)
+    atomics.add_argument("--no-ooo", action="store_true")
+
+    pcie = sub.add_parser("pcie", help="PCIe DMA microbenchmark (Figure 3)")
+    pcie.add_argument("--payload", type=int, default=64)
+    pcie.add_argument("--ops", type=int, default=3000)
+    pcie.add_argument("--write", action="store_true")
+
+    tune = sub.add_parser(
+        "tune", help="optimal hash index ratio (Figure 10)"
+    )
+    tune.add_argument("--kv-size", type=int, required=True)
+    tune.add_argument("--utilization", type=float, required=True)
+    tune.add_argument("--inline-threshold", type=int, default=20)
+    tune.add_argument("--memory-mib", type=int, default=2)
+
+    record = sub.add_parser(
+        "record", help="generate a YCSB workload and save it as a trace"
+    )
+    record.add_argument("output", help="trace file to write (.kvdt)")
+    record.add_argument("--kv-size", type=int, default=13)
+    record.add_argument("--put-ratio", type=float, default=0.5)
+    record.add_argument(
+        "--distribution", choices=("uniform", "zipf"), default="uniform"
+    )
+    record.add_argument("--ops", type=int, default=5000)
+    record.add_argument("--corpus", type=int, default=5000)
+    record.add_argument(
+        "--load-phase", action="store_true",
+        help="prepend PUTs inserting the whole corpus",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="replay a trace against a fresh store"
+    )
+    replay.add_argument("input", help="trace file to replay")
+    replay.add_argument("--memory-mib", type=int, default=8)
+    replay.add_argument(
+        "--timed", action="store_true",
+        help="run through the cycle-level simulation (slower)",
+    )
+    replay.add_argument("--concurrency", type=int, default=250)
+    return parser
+
+
+def _cmd_info(args, out) -> int:
+    rows = [
+        ["KV processor clock", f"{constants.KV_CLOCK_HZ / 1e6:.0f} MHz"],
+        ["PCIe links", f"{constants.PCIE_LINK_COUNT}x Gen3 x8"],
+        ["PCIe link bandwidth", f"{constants.PCIE_GEN3_X8_BANDWIDTH / 1e9:.2f} GB/s"],
+        ["PCIe DMA tags", str(constants.PCIE_DMA_TAGS)],
+        ["TLP overhead", f"{constants.PCIE_TLP_OVERHEAD} B"],
+        ["NIC DRAM", f"{constants.NIC_DRAM_SIZE >> 30} GiB @ "
+                     f"{constants.NIC_DRAM_BANDWIDTH / 1e9:.1f} GB/s"],
+        ["network", f"{constants.NETWORK_BANDWIDTH_BPS / 1e9:.0f} Gbps, "
+                    f"{constants.RDMA_PACKET_OVERHEAD} B packet overhead"],
+        ["bucket", f"{constants.BUCKET_SIZE} B, "
+                   f"{constants.SLOTS_PER_BUCKET} slots"],
+        ["slab classes", ", ".join(f"{s}B" for s in constants.SLAB_SIZES)],
+        ["reservation station", f"{constants.RESERVATION_STATION_SLOTS} slots, "
+                                f"{constants.MAX_INFLIGHT_OPS} in-flight"],
+    ]
+    print(format_table("Modelled hardware (paper constants)",
+                       ["parameter", "value"], rows), file=out)
+    return 0
+
+
+def _cmd_ycsb(args, out) -> int:
+    sim = Simulator()
+    store = KVDirectStore.create(
+        memory_size=args.memory_mib << 20,
+        out_of_order=not args.no_ooo,
+        use_nic_dram=not args.no_nic_dram,
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size)
+    if args.standard:
+        from repro.workloads.ycsb_standard import StandardYCSB
+
+        generator = StandardYCSB(keyspace, args.standard)
+        for op in generator.load_phase():
+            store.execute(op)
+        workload_name = f"YCSB-{args.standard}"
+    else:
+        for key, value in keyspace.pairs():
+            store.put(key, value)
+        generator = YCSBGenerator(
+            keyspace,
+            WorkloadSpec(put_ratio=args.put_ratio,
+                         distribution=args.distribution),
+        )
+        workload_name = generator.spec.name
+    store.reset_measurements()
+    processor = KVProcessor(sim, store)
+    stats = run_closed_loop(
+        processor, generator.operations(args.ops),
+        concurrency=args.concurrency,
+    )
+    rows = [
+        ["workload", workload_name],
+        ["KV size", f"{args.kv_size} B"],
+        ["throughput", f"{stats['throughput_mops']:.1f} Mops"],
+        ["p50 latency", f"{stats['latency_p50_ns'] / 1e3:.2f} us"],
+        ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
+        ["DMA reads", str(processor.dma.reads)],
+        ["DMA writes", str(processor.dma.writes)],
+        ["cache hit rate", f"{processor.engine.hit_rate():.1%}"],
+        ["forwarded ops", str(processor.counters['forwarded'])],
+    ]
+    print(format_table("YCSB result", ["metric", "value"], rows), file=out)
+    return 0
+
+
+def _cmd_atomics(args, out) -> int:
+    sim = Simulator()
+    store = KVDirectStore.create(
+        memory_size=4 << 20, out_of_order=not args.no_ooo
+    )
+    for k in range(args.keys):
+        store.put(b"ctr%06d" % k, struct.pack("<q", 0))
+    processor = KVProcessor(sim, store)
+    ops = [
+        KVOperation.update(
+            b"ctr%06d" % (i % args.keys), FETCH_ADD,
+            struct.pack("<q", 1), seq=i,
+        )
+        for i in range(args.ops)
+    ]
+    stats = run_closed_loop(processor, ops, concurrency=200)
+    mode = "stalling (no OoO)" if args.no_ooo else "out-of-order"
+    rows = [
+        ["keys", str(args.keys)],
+        ["mode", mode],
+        ["throughput", f"{stats['throughput_mops']:.2f} Mops"],
+        ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
+    ]
+    print(format_table("Atomics result", ["metric", "value"], rows), file=out)
+    return 0
+
+
+def _cmd_pcie(args, out) -> int:
+    sim = Simulator()
+    engine = DMAEngine(sim, PCIeLinkConfig.gen3_x8())
+
+    def issuer():
+        issue = engine.write if args.write else engine.read
+        yield sim.all_of([issue(args.payload) for __ in range(args.ops)])
+
+    sim.run(sim.process(issuer()))
+    sim.run()
+    rows = [
+        ["operation", "DMA write" if args.write else "DMA read"],
+        ["payload", f"{args.payload} B"],
+        ["throughput", f"{mops(args.ops, sim.now):.1f} Mops"],
+    ]
+    if not args.write:
+        rows.append(
+            ["p99 latency",
+             f"{engine.read_latency_hist.percentile(99):.0f} ns"]
+        )
+    print(format_table("PCIe DMA result", ["metric", "value"], rows),
+          file=out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    ratio, accesses = optimal_hash_index_ratio(
+        args.kv_size,
+        args.utilization,
+        args.inline_threshold,
+        memory_size=args.memory_mib << 20,
+    )
+    rows = [
+        ["KV size", f"{args.kv_size} B"],
+        ["required utilization", f"{args.utilization:.2f}"],
+        ["optimal hash index ratio", f"{ratio:.2f}"],
+        ["mean accesses/op", f"{accesses:.3f}"],
+    ]
+    print(format_table("Tuning result", ["metric", "value"], rows), file=out)
+    return 0
+
+
+def _cmd_record(args, out) -> int:
+    from repro.workloads.trace import TraceWriter
+
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size)
+    generator = YCSBGenerator(
+        keyspace,
+        WorkloadSpec(put_ratio=args.put_ratio,
+                     distribution=args.distribution),
+    )
+    with TraceWriter(args.output) as writer:
+        if args.load_phase:
+            writer.extend(generator.load_phase())
+        writer.extend(generator.operations(args.ops))
+        total = writer.operations
+    rows = [
+        ["trace", args.output],
+        ["workload", generator.spec.name],
+        ["operations", str(total)],
+    ]
+    print(format_table("Trace recorded", ["metric", "value"], rows),
+          file=out)
+    return 0
+
+
+def _cmd_replay(args, out) -> int:
+    from repro.workloads.trace import load_trace
+
+    ops = load_trace(args.input)
+    store = KVDirectStore.create(memory_size=args.memory_mib << 20)
+    rows = [["trace", args.input], ["operations", str(len(ops))]]
+    if args.timed:
+        sim = Simulator()
+        processor = KVProcessor(sim, store)
+        stats = run_closed_loop(processor, ops,
+                                concurrency=args.concurrency)
+        rows += [
+            ["throughput", f"{stats['throughput_mops']:.1f} Mops"],
+            ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
+        ]
+    else:
+        hits = 0
+        for op in ops:
+            result = store.execute(op)
+            hits += result.ok
+        rows += [
+            ["ok responses", str(hits)],
+            ["final keys", str(len(store))],
+            ["mem accesses", str(int(store.dma_stats()['memory_accesses']))],
+        ]
+    print(format_table("Trace replayed", ["metric", "value"], rows),
+          file=out)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "ycsb": _cmd_ycsb,
+    "atomics": _cmd_atomics,
+    "pcie": _cmd_pcie,
+    "tune": _cmd_tune,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out or sys.stdout)
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed the pipe: not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

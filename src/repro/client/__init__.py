@@ -1,0 +1,5 @@
+"""Client-side machinery: batching, request pacing, latency measurement."""
+
+from repro.client.client import ClientStats, KVClient
+
+__all__ = ["ClientStats", "KVClient"]

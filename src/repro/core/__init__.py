@@ -1,0 +1,45 @@
+"""The KV processor: the paper's primary contribution.
+
+Subpackage layout follows Figure 4:
+
+- :mod:`~repro.core.operations` - KV-Direct operation set (Table 1).
+- :mod:`~repro.core.hashindex` - bit-packed 64 B bucket codec (Figure 5).
+- :mod:`~repro.core.hashtable` - chained hash table with inline KVs.
+- :mod:`~repro.core.slab` / :mod:`~repro.core.slab_host` - slab memory
+  allocator split across NIC and host daemon (Figure 8).
+- :mod:`~repro.core.ooo` - out-of-order execution engine (reservation
+  station, data forwarding).
+- :mod:`~repro.core.vector` - vector UPDATE/REDUCE/FILTER and the
+  user-defined function registry.
+- :mod:`~repro.core.processor` - the timed pipeline tying it together.
+- :mod:`~repro.core.store` - :class:`~repro.core.store.KVDirectStore`,
+  the public API.
+"""
+
+from repro.core.operations import KVOperation, KVResult, OpType
+
+__all__ = [
+    "KVDirectConfig",
+    "KVDirectStore",
+    "KVOperation",
+    "KVResult",
+    "OpType",
+]
+
+_LAZY = {
+    "KVDirectStore": ("repro.core.store", "KVDirectStore"),
+    "KVDirectConfig": ("repro.core.config", "KVDirectConfig"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,142 @@
+"""KV-Direct configuration.
+
+Three parameters are workload-tunable per the paper and are "configured at
+initialization time": the **hash index ratio** (fraction of KV memory used
+for the hash index), the **inline threshold** (largest KV stored in the
+index), and the **load dispatch ratio** (fraction of memory cacheable in
+NIC DRAM).  Section 5.2.1: "Before each benchmark, we tune hash index
+ratio, inline threshold and load dispatch ratio according to the KV size,
+access pattern and target memory utilization."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import constants
+from repro.constants import BUCKET_SIZE
+from repro.core.hashindex import max_inline_kv_size
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KVDirectConfig:
+    """All knobs of one KV-Direct NIC + its slice of host memory.
+
+    Defaults give a laptop-scale 64 MiB KV store with the paper's ratios
+    (NIC DRAM = 1/16 of host KVS memory, two PCIe Gen3 x8 links, 40 GbE).
+    """
+
+    #: Host memory reserved for KV storage (index + dynamic area), bytes.
+    memory_size: int = 64 << 20
+
+    #: Fraction of memory_size used by the hash index.
+    hash_index_ratio: float = 0.5
+
+    #: KVs with klen + vlen at or below this are stored inline.
+    inline_threshold: int = constants.DEFAULT_INLINE_THRESHOLD
+
+    #: Fraction of memory cacheable in NIC DRAM (load dispatch ratio, l).
+    load_dispatch_ratio: float = constants.DEFAULT_LOAD_DISPATCH_RATIO
+
+    #: NIC on-board DRAM size, bytes.  Default keeps the paper's 16:1
+    #: host:NIC ratio at whatever memory_size is simulated.
+    nic_dram_size: int = 0  # 0 -> memory_size // 16
+
+    #: KV processor clock (Hz).
+    clock_hz: float = constants.KV_CLOCK_HZ
+
+    #: PCIe Gen3 x8 endpoints on the NIC.
+    pcie_links: int = constants.PCIE_LINK_COUNT
+
+    #: Network port bandwidth (bytes/s) and round-trip (ns).
+    network_bandwidth: float = constants.NETWORK_BANDWIDTH
+    network_rtt_ns: float = constants.NETWORK_RTT_NS
+
+    #: Reservation station geometry.
+    reservation_slots: int = constants.RESERVATION_STATION_SLOTS
+    max_inflight: int = constants.MAX_INFLIGHT_OPS
+
+    #: Out-of-order execution on/off (Figure 13's ablation).
+    out_of_order: bool = True
+
+    #: DRAM load dispatch / caching on/off (Figure 14's ablation).
+    use_nic_dram: bool = True
+
+    #: Slab allocator batching.
+    slab_sync_batch: int = constants.SLAB_SYNC_BATCH
+    slab_stack_capacity: int = constants.SLAB_NIC_STACK_CAPACITY
+
+    #: Seed for the latency distributions.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory_size < 4 * BUCKET_SIZE:
+            raise ConfigurationError("memory_size too small")
+        if not 0.0 < self.hash_index_ratio < 1.0:
+            raise ConfigurationError(
+                f"hash index ratio must be in (0, 1): {self.hash_index_ratio}"
+            )
+        if not 0 <= self.inline_threshold <= max_inline_kv_size():
+            raise ConfigurationError(
+                f"inline threshold must be in [0, {max_inline_kv_size()}]"
+            )
+        if not 0.0 <= self.load_dispatch_ratio <= 1.0:
+            raise ConfigurationError("load dispatch ratio must be in [0, 1]")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        if self.pcie_links <= 0:
+            raise ConfigurationError("need at least one PCIe link")
+        if self.max_inflight <= 0 or self.reservation_slots <= 0:
+            raise ConfigurationError("reservation station must be non-empty")
+        index = self.index_bytes
+        if index < BUCKET_SIZE:
+            raise ConfigurationError("hash index smaller than one bucket")
+        if self.memory_size - index < constants.SLAB_MAX_SIZE:
+            raise ConfigurationError(
+                "dynamic area smaller than one maximal slab"
+            )
+
+    # -- derived geometry ------------------------------------------------------
+
+    @property
+    def index_bytes(self) -> int:
+        """Hash index size, rounded down to whole buckets."""
+        return (
+            int(self.memory_size * self.hash_index_ratio)
+            // BUCKET_SIZE
+            * BUCKET_SIZE
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        return self.index_bytes // BUCKET_SIZE
+
+    @property
+    def dynamic_bytes(self) -> int:
+        return self.memory_size - self.index_bytes
+
+    @property
+    def effective_nic_dram(self) -> int:
+        return self.nic_dram_size or self.memory_size // 16
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.clock_hz
+
+    # -- convenience -------------------------------------------------------------
+
+    def with_overrides(self, **kwargs) -> "KVDirectConfig":
+        """A copy with some fields replaced (config objects are frozen)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper_scale(cls) -> "KVDirectConfig":
+        """The testbed's actual sizes (64 GiB host KVS, 4 GiB NIC DRAM).
+
+        Useful for analytic models; too large for functional simulation.
+        """
+        return cls(
+            memory_size=constants.HOST_KVS_SIZE,
+            nic_dram_size=constants.NIC_DRAM_SIZE,
+        )

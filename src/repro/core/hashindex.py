@@ -1,0 +1,285 @@
+"""Bit-packed 64-byte hash bucket codec (Figure 5).
+
+Each bucket is one 64 B line::
+
+    bytes  0..49   10 hash slots x 5 bytes
+    bytes 50..53   10 x 3-bit slab type        (30 of 32 bits)
+    bytes 54..55   inline "used" bitmap        (10 of 16 bits)
+    bytes 56..57   inline "start" bitmap       (10 of 16 bits)
+    bytes 58..61   chain pointer to next bucket (31 of 32 bits)
+    bytes 62..63   reserved
+
+A *pointer slot* packs a 31-bit pointer (32 B-granularity address into the
+KV storage) and a 9-bit secondary hash into its 40 bits.  An *inline KV*
+re-purposes a contiguous run of slots as raw bytes holding
+``[klen u8][vlen u8][key][value]``; the two bitmaps mark which slots hold
+inline data and where each inline KV begins (the paper's "bitmap marking
+the beginning and end of inline KV pairs").
+
+The secondary hash lets lookups skip non-matching pointer slots without
+fetching the pointed-to KV; the full key is still compared after the fetch,
+"at the cost of one additional memory access" on the 1/512 false-positive
+path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.constants import (
+    BUCKET_SIZE,
+    POINTER_BITS,
+    SECONDARY_HASH_BITS,
+    SLOT_SIZE,
+    SLOTS_PER_BUCKET,
+)
+from repro.errors import KVDirectError
+
+#: Bytes of slot area per bucket.
+SLOT_AREA = SLOTS_PER_BUCKET * SLOT_SIZE
+
+#: Granularity of slab pointers (bytes per pointer unit).
+POINTER_GRANULARITY = 32
+
+#: Per-inline-KV header: 1-byte key length + 1-byte value length.
+INLINE_HEADER = 2
+
+_SECONDARY_MASK = (1 << SECONDARY_HASH_BITS) - 1
+_POINTER_MASK = (1 << POINTER_BITS) - 1
+_META = struct.Struct("<IHHIH")  # slab types, used, start, chain, reserved
+
+
+def pack_slot(pointer: int, secondary: int) -> int:
+    """Pack a 31-bit pointer and 9-bit secondary hash into a slot word."""
+    if not 0 <= pointer <= _POINTER_MASK:
+        raise KVDirectError(f"pointer out of range: {pointer}")
+    if not 0 <= secondary <= _SECONDARY_MASK:
+        raise KVDirectError(f"secondary hash out of range: {secondary}")
+    return (pointer << SECONDARY_HASH_BITS) | secondary
+
+
+def unpack_slot(word: int) -> Tuple[int, int]:
+    """Unpack a slot word into (pointer, secondary hash)."""
+    return word >> SECONDARY_HASH_BITS, word & _SECONDARY_MASK
+
+
+def inline_slots_needed(kv_size: int) -> int:
+    """Hash slots an inline KV of ``kv_size = klen + vlen`` bytes occupies."""
+    if kv_size < 0:
+        raise KVDirectError(f"negative KV size: {kv_size}")
+    total = kv_size + INLINE_HEADER
+    return max(1, -(-total // SLOT_SIZE))
+
+
+def max_inline_kv_size() -> int:
+    """Largest klen + vlen that fits a whole bucket's slot area."""
+    return SLOT_AREA - INLINE_HEADER
+
+
+class Bucket:
+    """A decoded, mutable 64 B hash bucket."""
+
+    __slots__ = (
+        "slot_bytes",
+        "slab_types",
+        "inline_used",
+        "inline_start",
+        "chain_ptr",
+    )
+
+    def __init__(self) -> None:
+        self.slot_bytes = bytearray(SLOT_AREA)
+        self.slab_types: List[int] = [0] * SLOTS_PER_BUCKET
+        self.inline_used = 0
+        self.inline_start = 0
+        self.chain_ptr = 0
+
+    # -- codec ---------------------------------------------------------------
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Bucket":
+        if len(data) != BUCKET_SIZE:
+            raise KVDirectError(
+                f"bucket must be {BUCKET_SIZE} bytes, got {len(data)}"
+            )
+        bucket = cls()
+        bucket.slot_bytes = bytearray(data[:SLOT_AREA])
+        types_word, used, start, chain, __ = _META.unpack(data[SLOT_AREA:])
+        bucket.slab_types = [
+            (types_word >> (3 * i)) & 0x7 for i in range(SLOTS_PER_BUCKET)
+        ]
+        bucket.inline_used = used
+        bucket.inline_start = start
+        bucket.chain_ptr = chain & _POINTER_MASK
+        return bucket
+
+    def pack(self) -> bytes:
+        types_word = 0
+        for i, slab_type in enumerate(self.slab_types):
+            if not 0 <= slab_type <= 0x7:
+                raise KVDirectError(f"slab type out of range: {slab_type}")
+            types_word |= slab_type << (3 * i)
+        if self.chain_ptr > _POINTER_MASK:
+            raise KVDirectError(f"chain pointer out of range: {self.chain_ptr}")
+        return bytes(self.slot_bytes) + _META.pack(
+            types_word,
+            self.inline_used,
+            self.inline_start,
+            self.chain_ptr,
+            0,
+        )
+
+    @classmethod
+    def empty_bytes(cls) -> bytes:
+        return bytes(BUCKET_SIZE)
+
+    # -- slot access -----------------------------------------------------------
+
+    def slot_word(self, index: int) -> int:
+        self._check_slot(index)
+        offset = index * SLOT_SIZE
+        return int.from_bytes(self.slot_bytes[offset : offset + SLOT_SIZE], "little")
+
+    def set_slot_word(self, index: int, word: int) -> None:
+        self._check_slot(index)
+        if word < 0 or word >= 1 << (SLOT_SIZE * 8):
+            raise KVDirectError(f"slot word out of range: {word}")
+        offset = index * SLOT_SIZE
+        self.slot_bytes[offset : offset + SLOT_SIZE] = word.to_bytes(
+            SLOT_SIZE, "little"
+        )
+
+    def _check_slot(self, index: int) -> None:
+        if not 0 <= index < SLOTS_PER_BUCKET:
+            raise IndexError(f"slot index {index} outside bucket")
+
+    def is_inline_slot(self, index: int) -> bool:
+        self._check_slot(index)
+        return bool(self.inline_used & (1 << index))
+
+    def is_free(self, index: int) -> bool:
+        """A slot is free if it holds neither a pointer nor inline data."""
+        return not self.is_inline_slot(index) and self.slot_word(index) == 0
+
+    def free_slots(self) -> int:
+        return sum(self.is_free(i) for i in range(SLOTS_PER_BUCKET))
+
+    def find_free_run(self, length: int) -> Optional[int]:
+        """First index of ``length`` contiguous free slots, if any."""
+        if length <= 0 or length > SLOTS_PER_BUCKET:
+            return None
+        run = 0
+        for i in range(SLOTS_PER_BUCKET):
+            run = run + 1 if self.is_free(i) else 0
+            if run == length:
+                return i - length + 1
+        return None
+
+    # -- pointer slots ---------------------------------------------------------
+
+    def pointer_slots(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (slot index, pointer, secondary hash) for occupied slots."""
+        for i in range(SLOTS_PER_BUCKET):
+            if self.is_inline_slot(i):
+                continue
+            word = self.slot_word(i)
+            if word:
+                pointer, secondary = unpack_slot(word)
+                yield i, pointer, secondary
+
+    def set_pointer(
+        self, index: int, pointer: int, secondary: int, slab_type: int
+    ) -> None:
+        if self.is_inline_slot(index):
+            raise KVDirectError(f"slot {index} holds inline data")
+        self.set_slot_word(index, pack_slot(pointer, secondary))
+        self.slab_types[index] = slab_type
+
+    def clear_slot(self, index: int) -> None:
+        self.set_slot_word(index, 0)
+        self.slab_types[index] = 0
+
+    # -- inline KVs --------------------------------------------------------------
+
+    def inline_spans(self) -> Iterator[Tuple[int, int]]:
+        """Yield (start slot, slot count) for each stored inline KV."""
+        i = 0
+        while i < SLOTS_PER_BUCKET:
+            if self.inline_start & (1 << i):
+                j = i + 1
+                while (
+                    j < SLOTS_PER_BUCKET
+                    and (self.inline_used & (1 << j))
+                    and not (self.inline_start & (1 << j))
+                ):
+                    j += 1
+                yield i, j - i
+                i = j
+            else:
+                i += 1
+
+    def read_inline(self, start: int) -> Tuple[bytes, bytes]:
+        """Read the inline KV beginning at ``start``; returns (key, value)."""
+        if not self.inline_start & (1 << start):
+            raise KVDirectError(f"slot {start} does not begin an inline KV")
+        offset = start * SLOT_SIZE
+        klen = self.slot_bytes[offset]
+        vlen = self.slot_bytes[offset + 1]
+        data_start = offset + INLINE_HEADER
+        key = bytes(self.slot_bytes[data_start : data_start + klen])
+        value = bytes(
+            self.slot_bytes[data_start + klen : data_start + klen + vlen]
+        )
+        return key, value
+
+    def write_inline(self, start: int, key: bytes, value: bytes) -> None:
+        """Store an inline KV at ``start``; caller ensured the run is free."""
+        size = len(key) + len(value)
+        nslots = inline_slots_needed(size)
+        if start < 0 or start + nslots > SLOTS_PER_BUCKET:
+            raise KVDirectError("inline KV does not fit the bucket")
+        if len(key) > 255 or len(value) > 255:
+            raise KVDirectError("inline key/value length must fit one byte")
+        offset = start * SLOT_SIZE
+        record = bytes([len(key), len(value)]) + key + value
+        padded = record.ljust(nslots * SLOT_SIZE, b"\x00")
+        self.slot_bytes[offset : offset + nslots * SLOT_SIZE] = padded
+        for i in range(start, start + nslots):
+            self.inline_used |= 1 << i
+            self.inline_start &= ~(1 << i)
+            self.slab_types[i] = 0
+        self.inline_start |= 1 << start
+
+    def erase_inline(self, start: int) -> None:
+        """Remove the inline KV beginning at ``start``."""
+        key, value = self.read_inline(start)
+        nslots = inline_slots_needed(len(key) + len(value))
+        offset = start * SLOT_SIZE
+        self.slot_bytes[offset : offset + nslots * SLOT_SIZE] = bytes(
+            nslots * SLOT_SIZE
+        )
+        for i in range(start, start + nslots):
+            self.inline_used &= ~(1 << i)
+            self.inline_start &= ~(1 << i)
+
+    def find_inline(self, key: bytes) -> Optional[int]:
+        """Start slot of the inline KV with this key, if present."""
+        for start, __ in self.inline_spans():
+            offset = start * SLOT_SIZE
+            klen = self.slot_bytes[offset]
+            if klen != len(key):
+                continue
+            data_start = offset + INLINE_HEADER
+            if self.slot_bytes[data_start : data_start + klen] == key:
+                return start
+        return None
+
+    def has_no_entries(self) -> bool:
+        """No inline KVs and no pointer slots (chain pointer ignored)."""
+        return self.inline_used == 0 and all(
+            self.slot_word(i) == 0 for i in range(SLOTS_PER_BUCKET)
+        )
+
+    def is_empty(self) -> bool:
+        return self.chain_ptr == 0 and self.has_no_entries()

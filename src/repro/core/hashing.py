@@ -1,0 +1,36 @@
+"""Key hashing for the hash index and the reservation station.
+
+FNV-1a 64-bit: deterministic across runs (unlike Python's salted ``hash``),
+cheap, and uniform enough for the chaining analysis - the paper chooses
+chaining partly because it is "more robust to hash clustering" than linear
+probing, but the index hash still needs reasonable uniformity.
+"""
+
+from __future__ import annotations
+
+from repro.constants import SECONDARY_HASH_BITS
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a hash."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def bucket_index(key_hash: int, num_buckets: int) -> int:
+    """Primary bucket for a key hash."""
+    return key_hash % num_buckets
+
+
+def secondary_hash(key_hash: int) -> int:
+    """9-bit secondary hash from the high bits (independent of the index)."""
+    return (key_hash >> (64 - SECONDARY_HASH_BITS)) & (
+        (1 << SECONDARY_HASH_BITS) - 1
+    )

@@ -1,0 +1,457 @@
+"""Chained hash table with inline KVs (section 3.3.1).
+
+The KV storage is split into a fixed hash index (buckets of 10 slots, 64 B
+each - :mod:`repro.core.hashindex`) and a dynamically allocated area managed
+by the slab allocator.  KVs whose combined size is at or below the *inline
+threshold* live directly in the index, re-purposing slot bytes; larger KVs
+live in slab memory behind a (pointer, secondary hash) slot.  Collisions
+chain to slab-allocated overflow buckets - the paper picks chaining over
+cuckoo/hopscotch because it "balances lookup and insertion, while being
+more robust to hash clustering".
+
+Every host-memory access goes through the backing
+:class:`~repro.dram.host.MemoryImage`, so *measured* (not modelled) DMA
+counts per GET/PUT/DELETE drive Figures 6, 9, 10 and 11.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.constants import BUCKET_SIZE
+from repro.core.hashindex import (
+    POINTER_GRANULARITY,
+    Bucket,
+    inline_slots_needed,
+)
+from repro.core.hashing import bucket_index, fnv1a64, secondary_hash
+from repro.core.slab import SlabAllocator
+from repro.core.slab_host import class_for_size, class_size
+from repro.dram.host import MemoryImage
+from repro.errors import ConfigurationError, KeyTooLargeError
+from repro.sim.stats import Counter, RunningStats
+
+#: Non-inline record header: key length (u8) + value length (u16).
+_RECORD_HEADER = struct.Struct("<BH")
+
+#: Slab class of a chained overflow bucket (64 B).
+_BUCKET_CLASS = 1
+
+#: Largest key the wire format and record header support.
+MAX_KEY_SIZE = 255
+
+#: Largest record (header + key + value) that fits the biggest slab.
+MAX_RECORD_SIZE = 512
+
+
+@dataclass
+class OpCost:
+    """Memory accesses one operation consumed (for per-op statistics)."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class HashTable:
+    """The KV-Direct hash table over a byte-addressable memory image."""
+
+    def __init__(
+        self,
+        memory: MemoryImage,
+        allocator: SlabAllocator,
+        num_buckets: int,
+        inline_threshold: int = 0,
+        base: int = 0,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ConfigurationError("need at least one hash bucket")
+        if inline_threshold < 0:
+            raise ConfigurationError("inline threshold must be >= 0")
+        from repro.core.hashindex import max_inline_kv_size
+
+        if inline_threshold > max_inline_kv_size():
+            raise ConfigurationError(
+                f"inline threshold {inline_threshold} exceeds bucket "
+                f"capacity {max_inline_kv_size()}"
+            )
+        if base % BUCKET_SIZE:
+            raise ConfigurationError("index base must be bucket-aligned")
+        self.memory = memory
+        self.allocator = allocator
+        self.num_buckets = num_buckets
+        self.inline_threshold = inline_threshold
+        self.base = base
+        self.counters = Counter()
+        self.stored_bytes = 0
+        self.count = 0
+        #: Per-operation access-count distributions (Figures 6/9/11).
+        self.get_cost = RunningStats()
+        self.put_cost = RunningStats()
+        self.delete_cost = RunningStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up a key; returns its value or ``None``."""
+        self._check_key(key)
+        before = self.memory.accesses
+        value = self._get(key)
+        self.get_cost.record(self.memory.accesses - before)
+        self.counters.add("gets")
+        return value
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or replace a (key, value) pair.  Returns True."""
+        self._check_key(key)
+        self._check_value(key, value)
+        before = self.memory.accesses
+        replaced_size = self._put(key, value)
+        self.put_cost.record(self.memory.accesses - before)
+        self.counters.add("puts")
+        if replaced_size is None:
+            self.count += 1
+            self.stored_bytes += len(key) + len(value)
+        else:
+            self.stored_bytes += len(value) - replaced_size
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        """Delete a key; returns whether it existed."""
+        self._check_key(key)
+        before = self.memory.accesses
+        removed = self._delete(key)
+        self.delete_cost.record(self.memory.accesses - before)
+        self.counters.add("deletes")
+        if removed is not None:
+            self.count -= 1
+            self.stored_bytes -= len(key) + removed
+        return removed is not None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def utilization(self, total_memory: Optional[int] = None) -> float:
+        """Stored KV bytes over the memory size ("memory utilization")."""
+        total = total_memory if total_memory is not None else self.memory.size
+        return self.stored_bytes / total if total else 0.0
+
+    # -- validation ------------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("key must be bytes")
+        if not key:
+            raise KeyTooLargeError("key must be non-empty")
+        if len(key) > MAX_KEY_SIZE:
+            raise KeyTooLargeError(
+                f"key of {len(key)} B exceeds {MAX_KEY_SIZE} B"
+            )
+
+    @staticmethod
+    def _check_value(key: bytes, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("value must be bytes")
+        record = _RECORD_HEADER.size + len(key) + len(value)
+        if record > MAX_RECORD_SIZE:
+            raise KeyTooLargeError(
+                f"record of {record} B exceeds the {MAX_RECORD_SIZE} B slab"
+            )
+
+    # -- bucket IO ---------------------------------------------------------------
+
+    def bucket_addr(self, index: int) -> int:
+        return self.base + index * BUCKET_SIZE
+
+    def _load(self, addr: int) -> Bucket:
+        return Bucket.unpack(self.memory.read(addr, BUCKET_SIZE))
+
+    def _store(self, addr: int, bucket: Bucket) -> None:
+        self.memory.write(addr, bucket.pack())
+
+    def _chain(self, key: bytes) -> Iterator[Tuple[int, Bucket]]:
+        """Walk the bucket chain for a key, loading each bucket (1 DMA)."""
+        h = fnv1a64(key)
+        addr = self.bucket_addr(bucket_index(h, self.num_buckets))
+        while True:
+            bucket = self._load(addr)
+            yield addr, bucket
+            if not bucket.chain_ptr:
+                return
+            addr = bucket.chain_ptr * POINTER_GRANULARITY
+
+    # -- records -------------------------------------------------------------------
+
+    def _write_record(self, addr: int, key: bytes, value: bytes) -> None:
+        self.memory.write(
+            addr, _RECORD_HEADER.pack(len(key), len(value)) + key + value
+        )
+
+    def _read_record(self, pointer: int, slab_type: int) -> Tuple[bytes, bytes]:
+        """Read a slab record; one DMA of the slab's size class."""
+        addr = pointer * POINTER_GRANULARITY
+        raw = self.memory.read(addr, class_size(slab_type))
+        klen, vlen = _RECORD_HEADER.unpack_from(raw)
+        start = _RECORD_HEADER.size
+        return raw[start : start + klen], raw[start + klen : start + klen + vlen]
+
+    @staticmethod
+    def _record_class(key: bytes, value: bytes) -> int:
+        return class_for_size(_RECORD_HEADER.size + len(key) + len(value))
+
+    def _is_inline(self, key: bytes, value: bytes) -> bool:
+        return len(key) + len(value) <= self.inline_threshold
+
+    # -- GET -------------------------------------------------------------------------
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        secondary = secondary_hash(fnv1a64(key))
+        for __, bucket in self._chain(key):
+            start = bucket.find_inline(key)
+            if start is not None:
+                return bucket.read_inline(start)[1]
+            for slot, pointer, sec in bucket.pointer_slots():
+                if sec != secondary:
+                    continue
+                rkey, rvalue = self._read_record(
+                    pointer, bucket.slab_types[slot]
+                )
+                if rkey == key:
+                    return rvalue
+                self.counters.add("secondary_false_positives")
+        return None
+
+    # -- PUT -------------------------------------------------------------------------
+
+    def _put(self, key: bytes, value: bytes) -> Optional[int]:
+        """Insert/replace; returns the replaced value's size, or None."""
+        h = fnv1a64(key)
+        secondary = secondary_hash(h)
+        first_addr = self.bucket_addr(bucket_index(h, self.num_buckets))
+
+        # Pass 1: walk the chain looking for the key, remembering the first
+        # bucket that could host the new KV.
+        inline_ok = self._is_inline(key, value)
+        nslots = inline_slots_needed(len(key) + len(value)) if inline_ok else 0
+        host: Optional[Tuple[int, Bucket]] = None
+        last_addr, last_bucket = first_addr, None
+        for addr, bucket in self._chain(key):
+            last_addr, last_bucket = addr, bucket
+            start = bucket.find_inline(key)
+            if start is not None:
+                return self._replace_inline(addr, bucket, start, key, value)
+            for slot, pointer, sec in bucket.pointer_slots():
+                if sec != secondary:
+                    continue
+                rkey, rvalue = self._read_record(
+                    pointer, bucket.slab_types[slot]
+                )
+                if rkey == key:
+                    return self._replace_record(
+                        addr, bucket, slot, pointer, key, value, len(rvalue)
+                    )
+                self.counters.add("secondary_false_positives")
+            if host is None and bucket.find_free_run(max(nslots, 1)) is not None:
+                host = (addr, bucket)
+
+        # Pass 2: insert as a new KV.  The hosting bucket is still held in
+        # the pipeline from pass 1 (no extra DMA to re-read it).
+        if host is None:
+            return self._insert_into_new_chain_bucket(
+                last_addr, last_bucket, key, value
+            )
+        addr, bucket = host
+        if inline_ok:
+            start = bucket.find_free_run(nslots)
+            assert start is not None
+            bucket.write_inline(start, key, value)
+            self._store(addr, bucket)
+            return None
+        free_slot = bucket.find_free_run(1)
+        assert free_slot is not None
+        self._insert_pointer(addr, bucket, free_slot, key, value, secondary)
+        return None
+
+    def _insert_pointer(
+        self,
+        addr: int,
+        bucket: Bucket,
+        slot: int,
+        key: bytes,
+        value: bytes,
+        secondary: int,
+    ) -> None:
+        record_class = self._record_class(key, value)
+        record_addr = self.allocator.alloc_class(record_class)
+        self._write_record(record_addr, key, value)
+        bucket.set_pointer(
+            slot, record_addr // POINTER_GRANULARITY, secondary, record_class
+        )
+        self._store(addr, bucket)
+
+    def _insert_into_new_chain_bucket(
+        self,
+        last_addr: int,
+        last_bucket: Optional[Bucket],
+        key: bytes,
+        value: bytes,
+    ) -> None:
+        """Chain a fresh overflow bucket and place the KV in it."""
+        new_addr = self.allocator.alloc_class(_BUCKET_CLASS)
+        new_bucket = Bucket()
+        if self._is_inline(key, value):
+            new_bucket.write_inline(0, key, value)
+        else:
+            secondary = secondary_hash(fnv1a64(key))
+            record_class = self._record_class(key, value)
+            record_addr = self.allocator.alloc_class(record_class)
+            self._write_record(record_addr, key, value)
+            new_bucket.set_pointer(
+                0, record_addr // POINTER_GRANULARITY, secondary, record_class
+            )
+        self._store(new_addr, new_bucket)
+        last = last_bucket if last_bucket is not None else self._load(last_addr)
+        last.chain_ptr = new_addr // POINTER_GRANULARITY
+        self._store(last_addr, last)
+        self.counters.add("chained_buckets")
+        return None
+
+    def _replace_inline(
+        self, addr: int, bucket: Bucket, start: int, key: bytes, value: bytes
+    ) -> Optional[int]:
+        old_key, old_value = bucket.read_inline(start)
+        bucket.erase_inline(start)
+        if self._is_inline(key, value):
+            run = bucket.find_free_run(
+                inline_slots_needed(len(key) + len(value))
+            )
+            if run is not None:
+                bucket.write_inline(run, key, value)
+                self._store(addr, bucket)
+                return len(old_value)
+        # The replacement no longer fits inline: demote to a slab record.
+        free_slot = bucket.find_free_run(1)
+        if free_slot is not None:
+            self._insert_pointer(
+                addr, bucket, free_slot, key, value,
+                secondary_hash(fnv1a64(key)),
+            )
+            return len(old_value)
+        # No room in this bucket at all: persist the erase, then reinsert.
+        self._store(addr, bucket)
+        self._put(key, value)
+        return len(old_value)
+
+    def _replace_record(
+        self,
+        addr: int,
+        bucket: Bucket,
+        slot: int,
+        pointer: int,
+        key: bytes,
+        value: bytes,
+        old_value_len: int,
+    ) -> Optional[int]:
+        old_class = bucket.slab_types[slot]
+        new_class = self._record_class(key, value)
+        record_addr = pointer * POINTER_GRANULARITY
+        if new_class == old_class:
+            # Same size class: overwrite in place, bucket untouched.
+            self._write_record(record_addr, key, value)
+            return old_value_len
+        new_addr = self.allocator.alloc_class(new_class)
+        self._write_record(new_addr, key, value)
+        bucket.set_pointer(
+            slot,
+            new_addr // POINTER_GRANULARITY,
+            secondary_hash(fnv1a64(key)),
+            new_class,
+        )
+        self._store(addr, bucket)
+        self.allocator.free(record_addr, old_class)
+        return old_value_len
+
+    # -- DELETE -----------------------------------------------------------------------
+
+    def _delete(self, key: bytes) -> Optional[int]:
+        """Remove a key; returns the removed value's size, or None.
+
+        A chained overflow bucket left completely empty is unlinked from
+        its predecessor and its 64 B slab freed, so chains shrink again
+        after churn instead of growing monotonically.
+        """
+        secondary = secondary_hash(fnv1a64(key))
+        prev: Optional[Tuple[int, Bucket]] = None
+        for addr, bucket in self._chain(key):
+            start = bucket.find_inline(key)
+            if start is not None:
+                __, old_value = bucket.read_inline(start)
+                bucket.erase_inline(start)
+                self._finish_delete(addr, bucket, prev)
+                return len(old_value)
+            for slot, pointer, sec in bucket.pointer_slots():
+                if sec != secondary:
+                    continue
+                rkey, rvalue = self._read_record(
+                    pointer, bucket.slab_types[slot]
+                )
+                if rkey != key:
+                    self.counters.add("secondary_false_positives")
+                    continue
+                old_class = bucket.slab_types[slot]
+                bucket.clear_slot(slot)
+                self._finish_delete(addr, bucket, prev)
+                self.allocator.free(pointer * POINTER_GRANULARITY, old_class)
+                return len(rvalue)
+            prev = (addr, bucket)
+        return None
+
+    def _finish_delete(
+        self,
+        addr: int,
+        bucket: Bucket,
+        prev: Optional[Tuple[int, Bucket]],
+    ) -> None:
+        """Persist a bucket after a removal, unlinking it if it emptied."""
+        if prev is not None and bucket.has_no_entries():
+            prev_addr, prev_bucket = prev
+            prev_bucket.chain_ptr = bucket.chain_ptr
+            self._store(prev_addr, prev_bucket)
+            self.allocator.free(addr, _BUCKET_CLASS)
+            self.counters.add("unlinked_buckets")
+            return
+        self._store(addr, bucket)
+
+    # -- debug / introspection -----------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Scan every stored KV (uncounted; for tests and tooling)."""
+        for index in range(self.num_buckets):
+            addr = self.bucket_addr(index)
+            while True:
+                bucket = Bucket.unpack(self.memory.peek(addr, BUCKET_SIZE))
+                for start, __ in bucket.inline_spans():
+                    yield bucket.read_inline(start)
+                for slot, pointer, __ in bucket.pointer_slots():
+                    raw = self.memory.peek(
+                        pointer * POINTER_GRANULARITY,
+                        class_size(bucket.slab_types[slot]),
+                    )
+                    klen, vlen = _RECORD_HEADER.unpack_from(raw)
+                    base = _RECORD_HEADER.size
+                    yield (
+                        raw[base : base + klen],
+                        raw[base + klen : base + klen + vlen],
+                    )
+                if not bucket.chain_ptr:
+                    break
+                addr = bucket.chain_ptr * POINTER_GRANULARITY

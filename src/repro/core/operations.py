@@ -1,0 +1,145 @@
+"""KV-Direct operation set (Table 1).
+
+KV-Direct extends one-sided RDMA READ/WRITE to key-value operations:
+GET / PUT / DELETE, atomic scalar updates, and vector operations
+(scalar-to-vector update, vector-to-vector update, reduce, filter) whose
+user-defined functions are pre-registered and compiled to hardware logic
+(here: registered Python callables in :mod:`repro.core.vector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+
+class OpType(IntEnum):
+    """Operation codes; values are the 4-bit wire opcodes."""
+
+    GET = 0
+    PUT = 1
+    DELETE = 2
+    #: Atomically update a scalar value with λ(v, Δ) -> v.
+    UPDATE_SCALAR = 3
+    #: Apply λ(v_i, Δ) to every element of a vector value.
+    UPDATE_SCALAR2VECTOR = 4
+    #: Apply λ(v_i, Δ_i) element-wise with a client-supplied vector.
+    UPDATE_VECTOR2VECTOR = 5
+    #: Reduce a vector to a scalar with λ(v_i, Σ) -> Σ.
+    REDUCE = 6
+    #: Keep vector elements where λ(v_i) is true.
+    FILTER = 7
+
+
+#: Operations that carry a value payload to the server.
+_OPS_WITH_VALUE = frozenset({OpType.PUT, OpType.UPDATE_VECTOR2VECTOR})
+
+#: Operations that carry a registered function id and a parameter.
+_OPS_WITH_FUNC = frozenset(
+    {
+        OpType.UPDATE_SCALAR,
+        OpType.UPDATE_SCALAR2VECTOR,
+        OpType.UPDATE_VECTOR2VECTOR,
+        OpType.REDUCE,
+        OpType.FILTER,
+    }
+)
+
+#: Maximum key length encodable on the wire (1 byte).
+MAX_KEY_LEN = 255
+
+#: Maximum value length encodable on the wire (2 bytes).
+MAX_VALUE_LEN = 65535
+
+
+@dataclass(frozen=True)
+class KVOperation:
+    """One client-issued operation.
+
+    ``value`` is the payload for PUT and the Δ-vector for vector2vector
+    updates; ``param`` is the scalar Δ (or reduction initial value Σ) for
+    function ops; ``func_id`` names a pre-registered λ.
+    """
+
+    op: OpType
+    key: bytes
+    value: Optional[bytes] = None
+    func_id: int = 0
+    param: bytes = b""
+    #: Client-side issue sequence, for latency attribution.
+    seq: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, (bytes, bytearray)):
+            raise TypeError("key must be bytes")
+        if not self.key:
+            raise ValueError("key must be non-empty")
+        if len(self.key) > MAX_KEY_LEN:
+            raise ValueError(f"key too long: {len(self.key)} > {MAX_KEY_LEN}")
+        if self.carries_value:
+            if self.value is None:
+                raise ValueError(f"{self.op.name} requires a value")
+            if len(self.value) > MAX_VALUE_LEN:
+                raise ValueError(
+                    f"value too long: {len(self.value)} > {MAX_VALUE_LEN}"
+                )
+        elif self.value is not None:
+            raise ValueError(f"{self.op.name} does not carry a value")
+        if self.carries_func:
+            if not 0 <= self.func_id <= 255:
+                raise ValueError("func_id must fit in one byte")
+            if len(self.param) > MAX_VALUE_LEN:
+                raise ValueError("param too long")
+        elif self.func_id or self.param:
+            raise ValueError(f"{self.op.name} does not take func/param")
+
+    @property
+    def carries_value(self) -> bool:
+        return self.op in _OPS_WITH_VALUE
+
+    @property
+    def carries_func(self) -> bool:
+        return self.op in _OPS_WITH_FUNC
+
+    @property
+    def is_write(self) -> bool:
+        """Writes mutate store state (everything but GET/REDUCE/FILTER)."""
+        return self.op not in (OpType.GET, OpType.REDUCE, OpType.FILTER)
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def get(cls, key: bytes, seq: int = 0) -> "KVOperation":
+        return cls(OpType.GET, key, seq=seq)
+
+    @classmethod
+    def put(cls, key: bytes, value: bytes, seq: int = 0) -> "KVOperation":
+        return cls(OpType.PUT, key, value=value, seq=seq)
+
+    @classmethod
+    def delete(cls, key: bytes, seq: int = 0) -> "KVOperation":
+        return cls(OpType.DELETE, key, seq=seq)
+
+    @classmethod
+    def update(
+        cls, key: bytes, func_id: int, param: bytes, seq: int = 0
+    ) -> "KVOperation":
+        return cls(
+            OpType.UPDATE_SCALAR, key, func_id=func_id, param=param, seq=seq
+        )
+
+
+@dataclass(frozen=True)
+class KVResult:
+    """Server response to one operation."""
+
+    op: OpType
+    ok: bool
+    value: Optional[bytes] = None
+    seq: int = field(default=0, compare=False)
+
+    @property
+    def found(self) -> bool:
+        """For GET: whether the key existed."""
+        return self.ok and self.value is not None

@@ -1,0 +1,351 @@
+"""The timed KV processor pipeline (Figure 4).
+
+Couples the functional store to the hardware models:
+
+- operations enter through a fully pipelined **decoder** (one per clock at
+  180 MHz),
+- the **reservation station** (:mod:`repro.core.ooo`) admits independent
+  operations and parks dependents,
+- the **main processing pipeline** executes an operation against the real
+  hash table, then replays every memory access it made through the
+  **memory access engine** (NIC DRAM cache + PCIe DMA, with the load
+  dispatcher routing),
+- on completion the station forwards data to dependents (one per clock in
+  the dedicated execution engine) and emits at most one write-back,
+- responses exit through the network model.
+
+Throughput = completed operations / simulated time; latency per operation
+is measured from submission to response.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.config import KVDirectConfig
+from repro.core.ooo import Admission, ReservationStation
+from repro.core.operations import KVOperation, KVResult, OpType
+from repro.core.store import KVDirectStore
+from repro.core.vector import apply_operation
+from repro.dram.cache import DramCache
+from repro.dram.nic import NICDram
+from repro.errors import KVDirectError, SimulationError
+from repro.memory.dispatcher import LoadDispatcher
+from repro.memory.engine import MemoryAccessEngine
+from repro.network.ethernet import EthernetLink
+from repro.pcie.dma import MultiLinkDMA
+from repro.pcie.link import PCIeLinkConfig
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import FIFOServer, TokenPool
+from repro.sim.stats import Counter, Histogram, mops
+
+#: Pipeline depth of the decode stage, in clock cycles (latency only; the
+#: initiation interval is what bounds throughput).
+_DECODE_DEPTH = 8
+
+
+class KVProcessor:
+    """One programmable NIC running the KV processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        store: Optional[KVDirectStore] = None,
+        config: Optional[KVDirectConfig] = None,
+        hls=None,
+    ) -> None:
+        if store is None:
+            store = KVDirectStore(config)
+        elif config is not None and config is not store.config:
+            raise SimulationError("config must match the store's config")
+        self.sim = sim
+        self.store = store
+        self.config = store.config
+        #: Optional :class:`~repro.core.hls.HLSToolchain`: when provided,
+        #: vector λs are charged their compiled pipeline cycles
+        #: (duplicated lanes keep computation at PCIe rate by design, so
+        #: omitting it models the paper's matched-throughput case).
+        self.hls = hls
+        cfg = self.config
+
+        # -- hardware models ----------------------------------------------
+        self.dma = MultiLinkDMA(
+            sim,
+            link_count=cfg.pcie_links,
+            config_factory=lambda seed: PCIeLinkConfig.gen3_x8(
+                seed=seed + cfg.seed
+            ),
+        )
+        self.nic_dram = NICDram(sim, size=cfg.effective_nic_dram)
+        dispatch_ratio = cfg.load_dispatch_ratio if cfg.use_nic_dram else 0.0
+        self.dispatcher = LoadDispatcher(dispatch_ratio)
+        cache = None
+        if cfg.use_nic_dram and dispatch_ratio > 0.0:
+            cache = DramCache(
+                nic_lines=max(1, cfg.effective_nic_dram // 64),
+                host_lines=max(1, cfg.memory_size // 64),
+            )
+        self.cache = cache
+        self.engine = MemoryAccessEngine(
+            sim, self.dma, self.nic_dram, self.dispatcher, cache
+        )
+        self.network = EthernetLink(
+            sim, bandwidth=cfg.network_bandwidth, rtt_ns=cfg.network_rtt_ns
+        )
+
+        # -- pipeline stages ------------------------------------------------
+        cycle = cfg.cycle_ns
+        self.decoder = FIFOServer(
+            sim, cycle, latency_ns=_DECODE_DEPTH * cycle, name="decode"
+        )
+        #: Dedicated execution engine for forwarded ops (1 op/cycle).
+        self.forward_engine = FIFOServer(sim, cycle, name="forward")
+        self.station = ReservationStation(
+            store.forwarding_executor(),
+            num_slots=cfg.reservation_slots,
+            capacity=cfg.max_inflight,
+            forwarding=cfg.out_of_order,
+        )
+        self.inflight = TokenPool(
+            sim, cfg.max_inflight, name="station_tokens"
+        )
+
+        # -- bookkeeping -----------------------------------------------------
+        self._waiting: Dict[int, Event] = {}  # id(op) -> response event
+        self.counters = Counter()
+        self.latencies = Histogram()
+        #: Time each main-pipeline op spent in memory accesses (ns).
+        self.memory_time = Histogram()
+        self.completed = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, op: KVOperation) -> Event:
+        """Submit one operation; the event fires with its
+        :class:`~repro.core.operations.KVResult` at response time."""
+        response = self.sim.event()
+        self._waiting[id(op)] = response
+        self.sim.process(self._ingress(op))
+        return response
+
+    def submit_many(self, ops: List[KVOperation]) -> List[Event]:
+        return [self.submit(op) for op in ops]
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def _ingress(self, op: KVOperation) -> Generator:
+        start = self.sim.now
+        # Stage 1: the decoder (one op per clock, fully pipelined).
+        yield self.decoder.submit()
+        # Stage 2: reservation-station admission (bounded in-flight ops).
+        yield self.inflight.acquire()
+        self.counters.add("admitted")
+        admission = self.station.admit(op)
+        if admission is Admission.EXECUTE:
+            self.sim.process(self._main_pipeline(op))
+        # QUEUED ops sleep in the station until forwarding or next_issue
+        # resolves them; either path fires their response event.
+        self._stamp_on_response(op, start)
+
+    def _stamp_on_response(self, op: KVOperation, start: float) -> None:
+        event = self._waiting.get(id(op))
+        if event is None:  # pragma: no cover - defensive
+            return
+
+        def record(ev: Event) -> None:
+            self.latencies.record(self.sim.now - start)
+            self.completed += 1
+
+        event.add_callback(record)
+
+    def _main_pipeline(self, op: KVOperation) -> Generator:
+        """Execute one op against the table, replaying its DMA traffic."""
+        memory = self.store.memory
+        memory.start_trace()
+        try:
+            result, value_after = self._execute_functional(op)
+        except KVDirectError as exc:
+            memory.stop_trace()
+            self._fail_op(op, exc)
+            return
+        trace = memory.stop_trace()
+        # Dependent accesses replay serially: a record read cannot start
+        # before its bucket read returned the pointer.
+        replay_start = self.sim.now
+        for kind, addr, size in trace:
+            yield self.engine.access(addr, size, write=(kind == "write"))
+        self.memory_time.record(self.sim.now - replay_start)
+        compute_ns = self._compute_time(op, value_after)
+        if compute_ns > 0:
+            yield self.sim.timeout(compute_ns)
+        self.counters.add("main_pipeline_ops")
+        self._complete(op, result, value_after)
+
+    def _compute_time(self, op: KVOperation, value_after) -> float:
+        """Pipeline occupancy of the λ lanes for a vector operation."""
+        if self.hls is None or not op.carries_func:
+            return 0.0
+        if op.func_id not in self.hls:
+            return 0.0
+        compiled = self.hls.lookup(op.func_id)
+        vector = value_after if value_after is not None else b""
+        nelements = len(vector) // compiled.func.element_size
+        cycles = compiled.cycles_for(nelements)
+        if cycles:
+            self.counters.add("lambda_cycles", cycles)
+        return cycles * self.config.cycle_ns
+
+    def _execute_functional(
+        self, op: KVOperation
+    ) -> Tuple[KVResult, Optional[bytes]]:
+        """Run the op on the hash table; also return the value afterwards
+        (the reservation station caches it for data forwarding)."""
+        table = self.store.table
+        if op.op is OpType.GET:
+            value = table.get(op.key)
+            return (
+                KVResult(op.op, ok=value is not None, value=value, seq=op.seq),
+                value,
+            )
+        if op.op is OpType.PUT:
+            assert op.value is not None
+            table.put(op.key, op.value)
+            return KVResult(op.op, ok=True, seq=op.seq), op.value
+        if op.op is OpType.DELETE:
+            existed = table.delete(op.key)
+            return KVResult(op.op, ok=existed, seq=op.seq), None
+        current = table.get(op.key)
+        if current is None:
+            return KVResult(op.op, ok=False, seq=op.seq), None
+        new_value, result = apply_operation(op, current, self.store.registry)
+        if new_value != current:
+            if new_value is None:
+                table.delete(op.key)
+            else:
+                table.put(op.key, new_value)
+        return result, new_value
+
+    def _complete(
+        self, op: KVOperation, result: KVResult, value_after: Optional[bytes]
+    ) -> None:
+        completion = self.station.complete(op, value_after)
+        if op.seq >= 0:
+            self._respond(op, result)
+        # Forwarded dependents execute one per clock in the dedicated engine.
+        for forwarded_op, forwarded_result in completion.responses:
+            self.sim.process(
+                self._deliver_forwarded(forwarded_op, forwarded_result)
+            )
+        if completion.writeback is not None:
+            self.counters.add("writebacks")
+            self.sim.process(self._main_pipeline(completion.writeback))
+        if completion.next_issue is not None:
+            self.sim.process(self._main_pipeline(completion.next_issue))
+
+    def _deliver_forwarded(
+        self, op: KVOperation, result: KVResult
+    ) -> Generator:
+        yield self.forward_engine.submit()
+        self.counters.add("forwarded")
+        self._respond(op, result)
+
+    def _fail_op(self, op: KVOperation, exc: KVDirectError) -> None:
+        """Surface a server-side error (e.g. out of memory) to the client
+        and unblock any dependents parked behind the failed op."""
+        self.counters.add("failed_ops")
+        completion = self.station.complete(op, None)
+        if op.seq >= 0:
+            event = self._waiting.pop(id(op), None)
+            self.inflight.release()
+            if event is not None:
+                event.fail(exc)
+        for forwarded_op, forwarded_result in completion.responses:
+            self.sim.process(
+                self._deliver_forwarded(forwarded_op, forwarded_result)
+            )
+        if completion.writeback is not None:
+            self.sim.process(self._main_pipeline(completion.writeback))
+        if completion.next_issue is not None:
+            self.sim.process(self._main_pipeline(completion.next_issue))
+
+    def _respond(self, op: KVOperation, result: KVResult) -> None:
+        event = self._waiting.pop(id(op), None)
+        if event is None:
+            raise SimulationError("response for unknown operation")
+        self.inflight.release()
+        event.succeed(result)
+
+    # -- measurement ------------------------------------------------------------------
+
+    def throughput_mops(self) -> float:
+        """Completed client operations per simulated microsecond."""
+        return mops(self.completed, self.sim.now)
+
+    def snapshot(self) -> dict:
+        data = self.counters.snapshot()
+        data.update({f"station_{k}": v for k, v in self.station.snapshot().items()})
+        data.update({f"mem_{k}": v for k, v in self.engine.snapshot().items()})
+        return data
+
+    def metrics(self) -> dict:
+        """One comprehensive report: throughput, latency, and breakdowns."""
+        data = {
+            "completed_ops": self.completed,
+            "throughput_mops": self.throughput_mops(),
+            "cache_hit_rate": self.engine.hit_rate(),
+            "forwarded_ops": self.counters["forwarded"],
+            "writebacks": self.counters["writebacks"],
+            "dma_reads": self.dma.reads,
+            "dma_writes": self.dma.writes,
+        }
+        if self.latencies.count:
+            for pct in (50, 95, 99):
+                data[f"latency_p{pct}_ns"] = self.latencies.percentile(pct)
+        if self.memory_time.count:
+            data["memory_time_p50_ns"] = self.memory_time.percentile(50)
+            data["memory_time_mean_ns"] = self.memory_time.mean()
+        return data
+
+
+def run_closed_loop(
+    processor: KVProcessor,
+    ops: List[KVOperation],
+    concurrency: int = 128,
+) -> Dict[str, float]:
+    """Drive a processor with a fixed number of outstanding operations.
+
+    Returns throughput and latency statistics - the measurement loop behind
+    Figures 13, 14, 16 and 17.
+    """
+    sim = processor.sim
+    queue = list(reversed(ops))
+    done = sim.event()
+    state = {"outstanding": 0, "submitted": 0}
+
+    def pump() -> None:
+        while queue and state["outstanding"] < concurrency:
+            op = queue.pop()
+            state["outstanding"] += 1
+            state["submitted"] += 1
+            processor.submit(op).add_callback(on_response)
+
+    def on_response(event) -> None:
+        state["outstanding"] -= 1
+        if queue:
+            pump()
+        elif state["outstanding"] == 0 and not done.triggered:
+            done.succeed()
+
+    start = sim.now
+    pump()
+    sim.run(done)
+    elapsed = sim.now - start
+    return {
+        "operations": float(len(ops)),
+        "elapsed_ns": elapsed,
+        "throughput_mops": mops(len(ops), elapsed),
+        "latency_p50_ns": processor.latencies.percentile(50),
+        "latency_p95_ns": processor.latencies.percentile(95),
+        "latency_p99_ns": processor.latencies.percentile(99),
+        "latency_mean_ns": processor.latencies.mean(),
+    }

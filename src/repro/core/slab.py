@@ -1,0 +1,135 @@
+"""NIC-side slab allocator: cached free-slab stacks (section 3.3.2).
+
+"The free slab pool can be cached on the NIC.  The cache syncs with the
+host memory in batches of slab entries.  Amortized by batching, less than
+0.07 DMA operation is needed per allocation or deallocation."
+
+Each size class has a double-ended stack: the NIC end is popped/pushed by
+the allocator and deallocator; the other end syncs with the host daemon's
+stack over PCIe when watermarks are crossed.  Because each end is touched
+by only one side, no locking is needed.
+
+Watermark note: the hardware refills *asynchronously* below a low
+watermark so allocation never stalls; this functional model refills
+synchronously when the stack empties and drains when it overfills - the
+same DMA count per sync, which is what the <0.07-DMA/op bound measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.constants import (
+    SLAB_NIC_STACK_CAPACITY,
+    SLAB_SYNC_BATCH,
+)
+from repro.core.slab_host import (
+    NUM_CLASSES,
+    HostSlabManager,
+    class_for_size,
+    class_size,
+)
+from repro.errors import AllocationError, ConfigurationError
+from repro.sim.stats import Counter
+
+#: Wire size of one slab entry: address field + slab type field (section
+#: 3.3.2 - including the type in the entry makes splitting a pure copy).
+SLAB_ENTRY_BYTES = 5
+
+
+class SlabAllocator:
+    """The NIC half of the slab allocator."""
+
+    def __init__(
+        self,
+        host: HostSlabManager,
+        sync_batch: int = SLAB_SYNC_BATCH,
+        stack_capacity: int = SLAB_NIC_STACK_CAPACITY,
+    ) -> None:
+        if sync_batch <= 0:
+            raise ConfigurationError("sync batch must be positive")
+        if stack_capacity < sync_batch:
+            raise ConfigurationError(
+                "NIC stack must hold at least one sync batch"
+            )
+        self.host = host
+        self.sync_batch = sync_batch
+        self.stack_capacity = stack_capacity
+        self._stacks: Dict[int, List[int]] = {
+            c: [] for c in range(NUM_CLASSES)
+        }
+        self.counters = Counter()
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate a slab that fits ``nbytes``; returns its address."""
+        class_index = class_for_size(nbytes)
+        return self.alloc_class(class_index)
+
+    def alloc_class(self, class_index: int) -> int:
+        """Allocate one slab of an explicit size class."""
+        stack = self._stacks[class_index]
+        if not stack:
+            self._sync_from_host(class_index)
+            stack = self._stacks[class_index]
+        self.counters.add("allocs")
+        return stack.pop()
+
+    def free(self, addr: int, class_index: int) -> None:
+        """Return a slab of ``class_index`` at ``addr`` to the free pool."""
+        if not 0 <= class_index < NUM_CLASSES:
+            raise AllocationError(f"bad slab class: {class_index}")
+        stack = self._stacks[class_index]
+        stack.append(addr)
+        self.counters.add("frees")
+        if len(stack) > self.stack_capacity:
+            self._sync_to_host(class_index)
+
+    def free_size(self, addr: int, nbytes: int) -> None:
+        """Free by original allocation size instead of class index."""
+        self.free(addr, class_for_size(nbytes))
+
+    # -- host synchronization -----------------------------------------------------
+
+    def _sync_from_host(self, class_index: int) -> None:
+        """Refill an empty NIC stack with a batch of host entries (one DMA)."""
+        entries = self.host.pop(class_index, self.sync_batch)
+        if not entries:
+            raise AllocationError(
+                f"host out of slabs for class {class_index} "
+                f"({class_size(class_index)} B)"
+            )
+        self._stacks[class_index].extend(entries)
+        self.counters.add("sync_reads")
+        self.counters.add("sync_read_bytes", len(entries) * SLAB_ENTRY_BYTES)
+
+    def _sync_to_host(self, class_index: int) -> None:
+        """Drain the low half of an overfull NIC stack to the host (one DMA)."""
+        stack = self._stacks[class_index]
+        drain = len(stack) - self.stack_capacity // 2
+        # The *bottom* of the stack drains: the NIC end keeps its hot top.
+        entries, self._stacks[class_index] = stack[:drain], stack[drain:]
+        self.host.push(class_index, entries)
+        self.counters.add("sync_writes")
+        self.counters.add("sync_write_bytes", len(entries) * SLAB_ENTRY_BYTES)
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def sync_dmas(self) -> int:
+        """Total PCIe round trips spent on slab entry synchronization."""
+        return self.counters["sync_reads"] + self.counters["sync_writes"]
+
+    def amortized_dma_per_op(self) -> float:
+        """DMA operations per alloc/free - the paper's < 0.07 figure."""
+        ops = self.counters["allocs"] + self.counters["frees"]
+        return self.sync_dmas / ops if ops else 0.0
+
+    def cached_entries(self, class_index: int) -> int:
+        return len(self._stacks[class_index])
+
+    def snapshot(self) -> dict:
+        data = self.counters.snapshot()
+        data["host_free_bytes"] = self.host.free_bytes()
+        return data

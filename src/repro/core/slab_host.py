@@ -1,0 +1,304 @@
+"""Host-side slab allocator daemon (sections 3.3.2 and 4, Figure 8).
+
+The host daemon owns the dynamic memory region: per-size free slab pools
+(the host halves of the double-ended stacks), a global allocation bitmap at
+32 B granularity, slab *splitting* when a small pool runs low, and *lazy
+merging* - batch-recombining free slabs into larger ones using either a
+bitmap scan or radix sort (Figure 12) - instead of checking neighbors on
+every deallocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.constants import SLAB_MIN_SIZE, SLAB_SIZES
+from repro.errors import AllocationError, ConfigurationError
+from repro.sim.stats import Counter
+
+#: Number of slab size classes (32, 64, 128, 256, 512).
+NUM_CLASSES = len(SLAB_SIZES)
+
+
+def class_size(class_index: int) -> int:
+    """Slab bytes of a size class."""
+    if not 0 <= class_index < NUM_CLASSES:
+        raise AllocationError(f"bad slab class: {class_index}")
+    return SLAB_SIZES[class_index]
+
+
+def class_for_size(nbytes: int) -> int:
+    """Smallest slab class that fits ``nbytes``."""
+    if nbytes <= 0:
+        raise AllocationError(f"allocation size must be positive: {nbytes}")
+    for index, size in enumerate(SLAB_SIZES):
+        if nbytes <= size:
+            return index
+    raise AllocationError(
+        f"allocation of {nbytes} B exceeds max slab size {SLAB_SIZES[-1]} B"
+    )
+
+
+class AllocationBitmap:
+    """Free/allocated bits over the dynamic region at 32 B granularity.
+
+    Bit set = unit allocated (or cached on the NIC, i.e. not mergeable).
+    Backed by a numpy bool array so merge scans are fast.
+    """
+
+    def __init__(self, units: int) -> None:
+        if units <= 0:
+            raise ConfigurationError("bitmap must cover at least one unit")
+        self.units = units
+        self._bits = np.zeros(units, dtype=bool)
+
+    def mark_allocated(self, unit: int, count: int) -> None:
+        self._check(unit, count)
+        self._bits[unit : unit + count] = True
+
+    def mark_free(self, unit: int, count: int) -> None:
+        self._check(unit, count)
+        self._bits[unit : unit + count] = False
+
+    def is_free(self, unit: int, count: int = 1) -> bool:
+        self._check(unit, count)
+        return not self._bits[unit : unit + count].any()
+
+    def _check(self, unit: int, count: int) -> None:
+        if unit < 0 or count < 0 or unit + count > self.units:
+            raise IndexError(
+                f"bitmap range [{unit}, {unit + count}) outside "
+                f"[0, {self.units})"
+            )
+
+    def free_units(self) -> int:
+        return int(self.units - self._bits.sum())
+
+
+class HostSlabManager:
+    """The daemon state: free pools, bitmap, split and merge machinery.
+
+    Addresses are byte offsets into the KV storage; the dynamic region is
+    ``[base, base + size)``.  Slab entries handed to the NIC are marked
+    allocated in the bitmap (they are no longer mergeable); entries pushed
+    back are marked free.
+    """
+
+    def __init__(self, base: int, size: int) -> None:
+        if base < 0 or size <= 0:
+            raise ConfigurationError("invalid dynamic region")
+        if base % SLAB_MIN_SIZE:
+            raise ConfigurationError(
+                f"region base must be {SLAB_MIN_SIZE}-byte aligned"
+            )
+        self.base = base
+        self.size = size - size % SLAB_SIZES[-1]
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"dynamic region smaller than one {SLAB_SIZES[-1]} B slab"
+            )
+        self.bitmap = AllocationBitmap(self.size // SLAB_MIN_SIZE)
+        #: Host halves of the per-class double-ended stacks.
+        self.pools: Dict[int, List[int]] = {c: [] for c in range(NUM_CLASSES)}
+        largest = SLAB_SIZES[-1]
+        self.pools[NUM_CLASSES - 1] = list(
+            range(base, base + self.size, largest)
+        )
+        self.counters = Counter()
+
+    # -- unit helpers --------------------------------------------------------
+
+    def _unit(self, addr: int) -> int:
+        offset = addr - self.base
+        if offset < 0 or offset >= self.size or offset % SLAB_MIN_SIZE:
+            raise AllocationError(f"address {addr} outside dynamic region")
+        return offset // SLAB_MIN_SIZE
+
+    def _units_of(self, class_index: int) -> int:
+        return class_size(class_index) // SLAB_MIN_SIZE
+
+    # -- NIC-facing stack ends -------------------------------------------------
+
+    def pop(self, class_index: int, max_entries: int) -> List[int]:
+        """Hand up to ``max_entries`` free slabs of a class to the NIC.
+
+        Splits larger slabs (and, failing that, lazily merges smaller ones)
+        to refill an empty pool.
+        """
+        pool = self.pools[class_index]
+        # The daemon keeps pools stocked by splitting larger slabs; lazy
+        # merging is the last resort when nothing can be split.
+        while len(pool) < max_entries and self.split(class_index):
+            pass
+        if not pool:
+            self._refill(class_index)
+            pool = self.pools[class_index]
+        taken = pool[-max_entries:]
+        del pool[-len(taken) :]
+        units = self._units_of(class_index)
+        for addr in taken:
+            self.bitmap.mark_allocated(self._unit(addr), units)
+        self.counters.add("pops", len(taken))
+        return taken
+
+    def push(self, class_index: int, entries: Sequence[int]) -> None:
+        """Accept freed slabs back from the NIC."""
+        units = self._units_of(class_index)
+        pool = self.pools[class_index]
+        for addr in entries:
+            self.bitmap.mark_free(self._unit(addr), units)
+            pool.append(addr)
+        self.counters.add("pushes", len(entries))
+
+    # -- splitting ---------------------------------------------------------------
+
+    def split(self, class_index: int) -> bool:
+        """Split one slab of ``class_index + 1`` into two of ``class_index``.
+
+        "Slab entries are simply copied from the larger pool to the smaller
+        pool, without the need for computation" - the split is a constant
+        amount of pointer work.
+        """
+        if class_index + 1 >= NUM_CLASSES:
+            return False
+        upper = self.pools[class_index + 1]
+        if not upper:
+            if not self.split(class_index + 1):
+                return False
+        addr = self.pools[class_index + 1].pop()
+        half = class_size(class_index)
+        self.pools[class_index].extend((addr, addr + half))
+        self.counters.add("splits")
+        return True
+
+    def _refill(self, class_index: int) -> None:
+        if self.split(class_index):
+            return
+        # "Lazy slab merging ... practically only triggered when the
+        # workload shifts from small KV to large KV" - or, as here, when no
+        # larger pool can be split.
+        self.merge_free_slabs()
+        if self.pools[class_index]:
+            return
+        if self.split(class_index):
+            return
+        if not self.pools[class_index]:
+            raise AllocationError(
+                f"out of memory for slab class {class_index} "
+                f"({class_size(class_index)} B)"
+            )
+
+    # -- lazy merging -------------------------------------------------------------
+
+    def merge_free_slabs(self, method: str = "radix") -> Dict[str, int]:
+        """Batch-merge free slabs into the largest possible classes.
+
+        ``method`` selects the Figure 12 algorithm: ``"radix"`` sorts free
+        slab addresses with an LSD radix sort and merges aligned buddy
+        pairs; ``"bitmap"`` scans the allocation bitmap for aligned free
+        runs.  Both produce identical pools.
+        """
+        merged = 0
+        if method == "bitmap":
+            merged = self._merge_via_bitmap()
+        elif method == "radix":
+            for class_index in range(NUM_CLASSES - 1):
+                merged += self._merge_class_radix(class_index)
+        else:
+            raise ValueError(f"unknown merge method: {method}")
+        self.counters.add("merges", merged)
+        return {"merged": merged}
+
+    def _merge_class_radix(self, class_index: int) -> int:
+        pool = self.pools[class_index]
+        if len(pool) < 2:
+            return 0
+        size = class_size(class_index)
+        addrs = radix_sort(np.array(pool, dtype=np.int64))
+        # A slab aligned to 2*size merges with the slab at addr + size;
+        # buddy pairs are disjoint by construction, so detection is a
+        # vectorized adjacent-element test.
+        aligned = (addrs - self.base) % (2 * size) == 0
+        lower = np.zeros(len(addrs), dtype=bool)
+        lower[:-1] = aligned[:-1] & (addrs[1:] == addrs[:-1] + size)
+        upper = np.roll(lower, 1)
+        upper[0] = False
+        promoted = addrs[lower]
+        if len(promoted):
+            self.pools[class_index] = addrs[~(lower | upper)].tolist()
+            self.pools[class_index + 1].extend(promoted.tolist())
+        return len(promoted)
+
+    def _merge_via_bitmap(self) -> int:
+        """Rebuild all pools by scanning the allocation bitmap.
+
+        Free units (bit clear) are re-carved greedily into maximal aligned
+        slabs.  This discards the existing pool lists entirely, which is
+        why the bitmap approach is expensive: it touches the whole region.
+        """
+        free = ~self.bitmap._bits
+        new_pools: Dict[int, List[int]] = {c: [] for c in range(NUM_CLASSES)}
+        unit_bytes = SLAB_MIN_SIZE
+        total_units = self.bitmap.units
+        merged = 0
+        unit = 0
+        while unit < total_units:
+            if not free[unit]:
+                unit += 1
+                continue
+            placed = False
+            for class_index in reversed(range(NUM_CLASSES)):
+                units = self._units_of(class_index)
+                if (
+                    unit % units == 0
+                    and unit + units <= total_units
+                    and free[unit : unit + units].all()
+                ):
+                    new_pools[class_index].append(self.base + unit * unit_bytes)
+                    if class_index > 0:
+                        merged += 1
+                    unit += units
+                    placed = True
+                    break
+            if not placed:  # pragma: no cover - class 0 always places
+                unit += 1
+        self.pools = new_pools
+        return merged
+
+    # -- introspection -------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        return sum(
+            len(pool) * class_size(c) for c, pool in self.pools.items()
+        )
+
+    def pool_sizes(self) -> Dict[int, int]:
+        return {c: len(pool) for c, pool in self.pools.items()}
+
+
+def radix_sort(values: np.ndarray, radix_bits: int = 8) -> np.ndarray:
+    """LSD radix sort of non-negative int64 values.
+
+    The paper cites radix sort [66] as scaling better than a bitmap for
+    merging billions of slab slots; this is the real algorithm (numpy
+    counting passes per digit), used both by the merger and by the
+    Figure 12 benchmark.
+    """
+    if values.ndim != 1:
+        raise ValueError("radix_sort expects a 1-D array")
+    if len(values) == 0:
+        return values.copy()
+    if (values < 0).any():
+        raise ValueError("radix_sort requires non-negative values")
+    out = values.copy()
+    max_value = int(out.max())
+    shift = 0
+    mask = (1 << radix_bits) - 1
+    while (max_value >> shift) > 0:
+        digits = (out >> shift) & mask
+        order = np.argsort(digits, kind="stable")
+        out = out[order]
+        shift += radix_bits
+    return out

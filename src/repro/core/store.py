@@ -1,0 +1,238 @@
+"""The public KV-Direct store API.
+
+:class:`KVDirectStore` is the *functional* face of the system: real hash
+table + slab allocator over a byte-addressable memory image, with all of
+Table 1's operations.  It measures memory accesses per operation (the
+quantity Figures 6/9/10/11 plot) as it goes.
+
+For *timed* behaviour - throughput and latency under the PCIe/DRAM/network
+models - wrap a store's config in a
+:class:`~repro.core.processor.KVProcessor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.core.config import KVDirectConfig
+from repro.core.hashtable import HashTable
+from repro.core.operations import KVOperation, KVResult, OpType
+from repro.core.slab import SlabAllocator
+from repro.core.slab_host import HostSlabManager
+from repro.core.vector import FuncKind, FunctionRegistry, apply_operation
+from repro.dram.host import MemoryImage
+from repro.errors import KVDirectError
+
+
+class KVDirectStore:
+    """In-memory key-value store with KV-Direct's data structures."""
+
+    def __init__(self, config: Optional[KVDirectConfig] = None) -> None:
+        self.config = config or KVDirectConfig()
+        self.memory = MemoryImage(self.config.memory_size, name="host_kvs")
+        self.host_slab = HostSlabManager(
+            base=self.config.index_bytes, size=self.config.dynamic_bytes
+        )
+        self.allocator = SlabAllocator(
+            self.host_slab,
+            sync_batch=self.config.slab_sync_batch,
+            stack_capacity=self.config.slab_stack_capacity,
+        )
+        self.table = HashTable(
+            self.memory,
+            self.allocator,
+            self.config.num_buckets,
+            inline_threshold=self.config.inline_threshold,
+        )
+        self.registry = FunctionRegistry()
+
+    @classmethod
+    def create(
+        cls, memory_size: int = 64 << 20, **overrides
+    ) -> "KVDirectStore":
+        """Build a store with a given memory size and config overrides."""
+        return cls(KVDirectConfig(memory_size=memory_size, **overrides))
+
+    # -- Table 1 operations -------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """``get(k) -> v`` - value of key k, or None."""
+        return self.table.get(key)
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """``put(k, v) -> bool`` - insert or replace a (k, v) pair."""
+        return self.table.put(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        """``delete(k) -> bool`` - delete key k; False if absent."""
+        return self.table.delete(key)
+
+    def update(
+        self, key: bytes, func_id: int, param: bytes
+    ) -> Optional[bytes]:
+        """``update_scalar2scalar`` - atomically apply λ(v, Δ); returns the
+        original value, or None if the key is absent."""
+        result = self.execute(
+            KVOperation(OpType.UPDATE_SCALAR, key, func_id=func_id, param=param)
+        )
+        return result.value if result.ok else None
+
+    def update_vector(
+        self, key: bytes, func_id: int, param: bytes
+    ) -> Optional[bytes]:
+        """``update_scalar2vector`` - apply λ(v_i, Δ) to every element;
+        returns the original vector."""
+        result = self.execute(
+            KVOperation(
+                OpType.UPDATE_SCALAR2VECTOR, key, func_id=func_id, param=param
+            )
+        )
+        return result.value if result.ok else None
+
+    def update_vector2vector(
+        self, key: bytes, func_id: int, deltas: bytes
+    ) -> Optional[bytes]:
+        """``update_vector2vector`` - element-wise λ(v_i, Δ_i); returns the
+        original vector."""
+        result = self.execute(
+            KVOperation(
+                OpType.UPDATE_VECTOR2VECTOR, key, value=deltas, func_id=func_id
+            )
+        )
+        return result.value if result.ok else None
+
+    def reduce(
+        self, key: bytes, func_id: int, initial: bytes = b""
+    ) -> Optional[bytes]:
+        """``reduce`` - fold the vector with λ(v, Σ); returns Σ."""
+        result = self.execute(
+            KVOperation(OpType.REDUCE, key, func_id=func_id, param=initial)
+        )
+        return result.value if result.ok else None
+
+    def filter(self, key: bytes, func_id: int) -> Optional[bytes]:
+        """``filter`` - keep elements where λ(v) holds."""
+        result = self.execute(
+            KVOperation(OpType.FILTER, key, func_id=func_id)
+        )
+        return result.value if result.ok else None
+
+    # -- generic execution -----------------------------------------------------------
+
+    def execute(self, op: KVOperation) -> KVResult:
+        """Execute any wire operation against the store.
+
+        GET/PUT/DELETE go straight to the hash table.  Function operations
+        are read-modify-write: fetch the value, apply the λ (the same
+        :func:`~repro.core.vector.apply_operation` the OoO engine's
+        forwarding path uses), and write back if it changed.
+        """
+        if op.op is OpType.GET:
+            value = self.table.get(op.key)
+            return KVResult(op.op, ok=value is not None, value=value,
+                            seq=op.seq)
+        if op.op is OpType.PUT:
+            assert op.value is not None
+            self.table.put(op.key, op.value)
+            return KVResult(op.op, ok=True, seq=op.seq)
+        if op.op is OpType.DELETE:
+            existed = self.table.delete(op.key)
+            return KVResult(op.op, ok=existed, seq=op.seq)
+        current = self.table.get(op.key)
+        if current is None:
+            return KVResult(op.op, ok=False, seq=op.seq)
+        new_value, result = apply_operation(op, current, self.registry)
+        if new_value != current:
+            if new_value is None:
+                self.table.delete(op.key)
+            else:
+                self.table.put(op.key, new_value)
+        return result
+
+    def forwarding_executor(
+        self,
+    ) -> Callable[[KVOperation, Optional[bytes]], Tuple[Optional[bytes], KVResult]]:
+        """The executor the OoO engine uses for data forwarding."""
+        registry = self.registry
+
+        def executor(op: KVOperation, current: Optional[bytes]):
+            return apply_operation(op, current, registry)
+
+        return executor
+
+    def register_function(
+        self,
+        kind: FuncKind,
+        fn: Callable,
+        element_size: int = 8,
+        signed: bool = True,
+        name: str = "",
+    ) -> int:
+        """Pre-register a user λ (the paper's HLS compilation step)."""
+        return self.registry.register(kind, fn, element_size, signed, name)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self.table
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        return self.table.items()
+
+    def utilization(self) -> float:
+        """Stored KV bytes over total KV memory."""
+        return self.table.utilization()
+
+    def fill_to_utilization(
+        self,
+        target: float,
+        kv_size: int,
+        key_size: int = 8,
+        prefix: bytes = b"",
+    ) -> int:
+        """PUT uniformly-named KVs until ``target`` utilization (section
+        5.2.1's preparation step).  Returns the number of KVs inserted."""
+        if not 0.0 < target < 1.0:
+            raise KVDirectError(f"target utilization must be in (0,1): {target}")
+        if kv_size <= key_size:
+            raise KVDirectError("kv_size must exceed key_size")
+        value = b"\xab" * (kv_size - key_size)
+        count = 0
+        while self.utilization() < target:
+            key = prefix + count.to_bytes(key_size - len(prefix), "big")
+            self.table.put(key, value)
+            count += 1
+        return count
+
+    def dma_stats(self) -> Dict[str, float]:
+        """Measured memory-access statistics (the Figure 11 quantities)."""
+        stats: Dict[str, float] = {
+            "memory_accesses": float(self.memory.accesses),
+            "lines_touched": float(self.memory.lines_touched),
+            "slab_sync_dmas": float(self.allocator.sync_dmas),
+            "slab_amortized_dma_per_op": self.allocator.amortized_dma_per_op(),
+        }
+        for name, cost in (
+            ("get", self.table.get_cost),
+            ("put", self.table.put_cost),
+            ("delete", self.table.delete_cost),
+        ):
+            if cost.count:
+                stats[f"{name}_mean_accesses"] = cost.mean
+                stats[f"{name}_max_accesses"] = cost.maximum
+        return stats
+
+    def reset_measurements(self) -> None:
+        """Zero access counters and per-op stats (not the stored data)."""
+        self.memory.reset_counters()
+        self.table.get_cost = type(self.table.get_cost)()
+        self.table.put_cost = type(self.table.put_cost)()
+        self.table.delete_cost = type(self.table.delete_cost)()
+
+    def keys(self):
+        """Iterate every stored key (uncounted, like :meth:`items`)."""
+        for key, __ in self.items():
+            yield key

@@ -1,0 +1,193 @@
+"""Direct-mapped DRAM cache metadata (section 3.3.4 + section 4).
+
+The NIC's 4 GiB DRAM caches the *cacheable* portion of the 64 GiB host KV
+storage in 64-byte lines.  With a 16:1 host:NIC ratio a direct-mapped cache
+needs 4 tag bits plus a dirty flag per line - exactly the 5 metadata bits
+the paper squeezes into spare ECC bits (:mod:`repro.dram.ecc`).
+
+This class models the cache *metadata* (tags, dirty bits, hit/miss/eviction
+accounting).  Functional data stays in the host :class:`~repro.dram.host.
+MemoryImage`; the memory access engine charges timing for the traffic this
+class reports (fills, writebacks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.ecc import ECCLineLayout, ECCMetadataCodec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access at line granularity."""
+
+    hit: bool
+    #: Host line index that must be written back (dirty eviction), if any.
+    writeback_line: Optional[int] = None
+    #: Whether a fill from host memory is required (read miss, partial write).
+    needs_fill: bool = False
+
+
+class CacheStats:
+    """Hit/miss/eviction counters with derived rates."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, writebacks={self.writebacks})"
+        )
+
+
+class DramCache:
+    """Direct-mapped cache of host lines in NIC DRAM.
+
+    ``host_lines`` is the total host KV storage in lines; a host line maps to
+    NIC line ``host_line % nic_lines`` with tag ``host_line // nic_lines``.
+    The tag width is therefore fixed by the host:NIC capacity ratio
+    (4 bits for the paper's 64 GiB / 4 GiB) regardless of the load dispatch
+    ratio, matching the paper's "additional 4 address bits".
+    """
+
+    def __init__(
+        self,
+        nic_lines: int,
+        host_lines: int,
+        layout: ECCLineLayout = ECCLineLayout(),
+    ) -> None:
+        if nic_lines <= 0 or host_lines <= 0:
+            raise ConfigurationError("line counts must be positive")
+        if host_lines < nic_lines:
+            raise ConfigurationError(
+                "host storage smaller than NIC DRAM: caching is pointless"
+            )
+        self.nic_lines = nic_lines
+        self.host_lines = host_lines
+        ways = math.ceil(host_lines / nic_lines)
+        self.tag_bits = max(1, math.ceil(math.log2(ways)))
+        #: Validates that tag + dirty fit the spare ECC bits.
+        self.codec = ECCMetadataCodec(self.tag_bits, layout)
+        # The real hardware needs no valid bit (the NIC initializes and
+        # exclusively owns the DRAM); we keep one so a cold simulated cache
+        # does not alias tag-0 lines.
+        self._valid = bytearray(nic_lines)
+        self._meta = [0] * nic_lines  # packed (tag, dirty) words
+        self.stats = CacheStats()
+
+    # -- mapping ------------------------------------------------------------
+
+    def slot_of(self, host_line: int) -> int:
+        self._check_line(host_line)
+        return host_line % self.nic_lines
+
+    def tag_of(self, host_line: int) -> int:
+        return host_line // self.nic_lines
+
+    def _check_line(self, host_line: int) -> None:
+        if not 0 <= host_line < self.host_lines:
+            raise IndexError(
+                f"host line {host_line} outside [0, {self.host_lines})"
+            )
+
+    def resident_line(self, slot: int) -> Optional[int]:
+        """Host line currently held in a NIC slot, or None if empty."""
+        if not self._valid[slot]:
+            return None
+        tag, __ = self.codec.unpack(self._meta[slot])
+        return tag * self.nic_lines + slot
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, host_line: int) -> bool:
+        """Non-mutating hit test."""
+        slot = self.slot_of(host_line)
+        if not self._valid[slot]:
+            return False
+        tag, __ = self.codec.unpack(self._meta[slot])
+        return tag == self.tag_of(host_line)
+
+    def access(
+        self, host_line: int, write: bool, full_line: bool = True
+    ) -> AccessResult:
+        """Perform one access, updating metadata and stats.
+
+        Write misses allocate; a full-line write needs no fill, a partial
+        write fetches the line first.  Returns the traffic the memory engine
+        must charge (fill and/or dirty writeback).
+        """
+        slot = self.slot_of(host_line)
+        tag = self.tag_of(host_line)
+        if self._valid[slot]:
+            old_tag, old_dirty = self.codec.unpack(self._meta[slot])
+            if old_tag == tag:
+                self.stats.hits += 1
+                if write and not old_dirty:
+                    self._meta[slot] = self.codec.pack(tag, True)
+                return AccessResult(hit=True)
+            # Conflict miss: evict the resident line.
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            writeback = None
+            if old_dirty:
+                self.stats.writebacks += 1
+                writeback = old_tag * self.nic_lines + slot
+            self._meta[slot] = self.codec.pack(tag, write)
+            needs_fill = (not write) or (not full_line)
+            return AccessResult(
+                hit=False, writeback_line=writeback, needs_fill=needs_fill
+            )
+        # Cold miss.
+        self.stats.misses += 1
+        self._valid[slot] = 1
+        self._meta[slot] = self.codec.pack(tag, write)
+        needs_fill = (not write) or (not full_line)
+        return AccessResult(hit=False, needs_fill=needs_fill)
+
+    def invalidate(self, host_line: int) -> Optional[int]:
+        """Drop a line; returns the line index if a dirty copy was lost."""
+        slot = self.slot_of(host_line)
+        if not self._valid[slot]:
+            return None
+        tag, dirty = self.codec.unpack(self._meta[slot])
+        if tag != self.tag_of(host_line):
+            return None
+        self._valid[slot] = 0
+        return host_line if dirty else None
+
+    def flush(self) -> list:
+        """Invalidate everything; returns dirty host lines needing writeback."""
+        dirty_lines = []
+        for slot in range(self.nic_lines):
+            if not self._valid[slot]:
+                continue
+            tag, dirty = self.codec.unpack(self._meta[slot])
+            if dirty:
+                dirty_lines.append(tag * self.nic_lines + slot)
+            self._valid[slot] = 0
+        return dirty_lines
+
+    def occupancy(self) -> float:
+        """Fraction of NIC slots holding a valid line."""
+        return sum(self._valid) / self.nic_lines

@@ -1,0 +1,68 @@
+"""NIC on-board DRAM: a small, slower-than-PCIe memory next to the FPGA.
+
+4 GiB of DDR3-1600 at 12.8 GB/s with a single channel - "an order of
+magnitude smaller than the KVS storage on host DRAM and slightly slower than
+the PCIe link" (section 3.3.4).  The timing half is a bandwidth server plus
+a fixed access latency; the functional half is a :class:`MemoryImage` that
+the DRAM cache stores line data in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import constants
+from repro.dram.host import MemoryImage
+from repro.errors import ConfigurationError
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import BandwidthServer
+from repro.sim.stats import Counter
+
+
+class NICDram:
+    """Timing + functional model of the NIC's on-board DRAM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int = constants.NIC_DRAM_SIZE,
+        bandwidth: float = constants.NIC_DRAM_BANDWIDTH,
+        latency_ns: float = constants.NIC_DRAM_LATENCY_NS,
+        image: Optional[MemoryImage] = None,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError("NIC DRAM size must be positive")
+        if bandwidth <= 0:
+            raise ConfigurationError("NIC DRAM bandwidth must be positive")
+        if latency_ns < 0:
+            raise ConfigurationError("NIC DRAM latency must be non-negative")
+        self.sim = sim
+        self.size = size
+        self.latency_ns = latency_ns
+        self.channel = BandwidthServer.from_bytes_per_sec(
+            sim, bandwidth, name="nic_dram"
+        )
+        #: Functional byte store; sized separately so simulations can use a
+        #: scaled-down image while the timing model keeps the real capacity.
+        self.image = image
+        self.counters = Counter()
+
+    def access(self, nbytes: int, write: bool = False) -> Process:
+        """Timed access of ``nbytes``; completes when the burst drains."""
+        kind = "writes" if write else "reads"
+        self.counters.add(kind)
+        self.counters.add(f"{kind[:-1]}_bytes", nbytes)
+        return self.sim.process(self._access(nbytes))
+
+    def _access(self, nbytes: int):
+        yield self.channel.transfer(nbytes)
+        yield self.sim.timeout(self.latency_ns)
+
+    @property
+    def accesses(self) -> int:
+        return self.counters["reads"] + self.counters["writes"]
+
+    def snapshot(self) -> dict:
+        data = self.counters.snapshot()
+        data["bytes_on_channel"] = self.channel.bytes_transferred
+        return data

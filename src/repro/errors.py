@@ -1,0 +1,33 @@
+"""Exception hierarchy for the KV-Direct reproduction."""
+
+
+class KVDirectError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(KVDirectError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class CapacityError(KVDirectError):
+    """The store ran out of memory (hash index or slab area)."""
+
+
+class KeyTooLargeError(KVDirectError):
+    """Key or key-value pair exceeds the maximum supported size."""
+
+
+class ValueError_(KVDirectError):
+    """A malformed value was supplied (e.g. vector element mismatch)."""
+
+
+class SimulationError(KVDirectError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProtocolError(KVDirectError):
+    """A network packet could not be decoded."""
+
+
+class AllocationError(CapacityError):
+    """The slab allocator could not satisfy a request."""

@@ -1,0 +1,23 @@
+"""Unified memory access engine with hybrid DRAM/PCIe load dispatch.
+
+Implements Figure 7: memory accesses are partitioned by a hash of the line
+address into a *cacheable* portion (served by the NIC DRAM cache) and a
+*bypass* portion (served directly over PCIe), so both memory systems'
+bandwidths are utilized (section 3.3.4, Figure 14).
+"""
+
+from repro.memory.dispatcher import (
+    LoadDispatcher,
+    longtail_hit_rate,
+    optimal_dispatch_ratio,
+    uniform_hit_rate,
+)
+from repro.memory.engine import MemoryAccessEngine
+
+__all__ = [
+    "LoadDispatcher",
+    "MemoryAccessEngine",
+    "longtail_hit_rate",
+    "optimal_dispatch_ratio",
+    "uniform_hit_rate",
+]

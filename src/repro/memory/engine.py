@@ -1,0 +1,112 @@
+"""Unified memory access engine (Figure 7).
+
+"Both the hash index and the slab-allocated memory are managed by a unified
+memory access engine, which accesses the host memory via PCIe DMA and caches
+a portion of host memory in NIC DRAM" (section 3.3).
+
+The engine is the timing hub of the KV processor: every memory access the
+functional hash table / slab allocator makes is replayed here, routed by the
+load dispatcher to either the NIC DRAM (cacheable lines) or PCIe DMA
+(bypass), charging bandwidth/latency and cache fill/writeback traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.constants import CACHE_LINE_SIZE
+from repro.dram.cache import DramCache
+from repro.dram.nic import NICDram
+from repro.memory.dispatcher import LoadDispatcher
+from repro.pcie.dma import MultiLinkDMA
+from repro.sim.engine import Process, Simulator
+from repro.sim.stats import Counter
+
+
+class MemoryAccessEngine:
+    """Routes line-granularity memory accesses between DRAM cache and PCIe."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dma: MultiLinkDMA,
+        nic_dram: NICDram,
+        dispatcher: LoadDispatcher,
+        cache: Optional[DramCache] = None,
+        line_size: int = CACHE_LINE_SIZE,
+    ) -> None:
+        self.sim = sim
+        self.dma = dma
+        self.nic_dram = nic_dram
+        self.dispatcher = dispatcher
+        self.cache = cache
+        self.line_size = line_size
+        self.counters = Counter()
+
+    def access(self, addr: int, size: int, write: bool = False) -> Process:
+        """Perform a timed access; completes when all its traffic drains."""
+        return self.sim.process(self._access(addr, size, write))
+
+    def _access(self, addr: int, size: int, write: bool) -> Generator:
+        if size <= 0:
+            return
+        kind = "writes" if write else "reads"
+        self.counters.add(kind)
+        first = addr // self.line_size
+        last = (addr + size - 1) // self.line_size
+        pending = []
+        for line in range(first, last + 1):
+            line_addr = line * self.line_size
+            start = max(addr, line_addr)
+            end = min(addr + size, line_addr + self.line_size)
+            span = end - start
+            full = span == self.line_size
+            if self.cache is not None and self.dispatcher.is_cacheable(
+                line_addr
+            ):
+                pending.append(
+                    self.sim.process(self._cached_line(line, write, full))
+                )
+            else:
+                self.counters.add("pcie_direct")
+                if write:
+                    pending.append(self.dma.write(span))
+                else:
+                    pending.append(self.dma.read(span))
+        if pending:
+            yield self.sim.all_of(pending)
+
+    def _cached_line(self, line: int, write: bool, full: bool) -> Generator:
+        cache = self.cache
+        assert cache is not None
+        result = cache.access(line, write, full_line=full)
+        if result.hit:
+            self.counters.add("cache_hits")
+            yield self.nic_dram.access(self.line_size, write=write)
+            return
+        self.counters.add("cache_misses")
+        # Dirty eviction: read old line from NIC DRAM, write back over PCIe.
+        if result.writeback_line is not None:
+            self.counters.add("writebacks")
+            yield self.nic_dram.access(self.line_size, write=False)
+            yield self.dma.write(self.line_size)
+        if result.needs_fill:
+            self.counters.add("fills")
+            yield self.dma.read(self.line_size)
+        # Install the (new or fetched) line in NIC DRAM.
+        yield self.nic_dram.access(self.line_size, write=True)
+
+    # -- introspection ------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        hits = self.counters["cache_hits"]
+        total = hits + self.counters["cache_misses"]
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        data = self.counters.snapshot()
+        data.update({f"dma_{k}": v for k, v in self.dma.snapshot().items()})
+        data.update(
+            {f"nic_{k}": v for k, v in self.nic_dram.snapshot().items()}
+        )
+        return data

@@ -1,0 +1,5 @@
+"""Multi-NIC scaling: many KV processors in one commodity server."""
+
+from repro.multi.multinic import MultiNICServer
+
+__all__ = ["MultiNICServer"]

@@ -1,0 +1,27 @@
+"""Network substrate: 40 GbE link model, RDMA framing, client batching.
+
+"Compared with PCIe, network is a more scarce resource with lower bandwidth
+(5 GB/s) and higher latency (2 us).  An RDMA write packet over Ethernet has
+88 bytes of header and padding overhead" (section 4).  Client-side batching
+packs multiple KV operations per packet (Figure 15); the vector operation
+decoder gives vectors a compact representation (Table 2).
+"""
+
+from repro.network.batching import (
+    BatchDecoder,
+    BatchEncoder,
+    decode_batch,
+    encode_batch,
+)
+from repro.network.ethernet import EthernetLink
+from repro.network.rdma import packet_wire_bytes, packets_for_payload
+
+__all__ = [
+    "BatchDecoder",
+    "BatchEncoder",
+    "EthernetLink",
+    "decode_batch",
+    "encode_batch",
+    "packet_wire_bytes",
+    "packets_for_payload",
+]

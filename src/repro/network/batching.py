@@ -1,0 +1,201 @@
+"""Client-side batching wire format (section 4, "Vector Operation Decoder").
+
+"We implement a decoder in the KV-engine to unpack multiple KV operations
+from a single RDMA packet.  Observing that many KVs have a same size or
+repetitive values, the KV format includes two flag bits to allow copying key
+and value size, or the value of the previous KV in the packet."
+
+Wire layout of one batch::
+
+    u16   op count
+    op*   operations
+
+One operation::
+
+    u8    opcode (low 4 bits) | flags (SAME_KLEN, SAME_VLEN, SAME_VALUE)
+    u8    key length            (omitted when SAME_KLEN)
+    u16   value length          (omitted when SAME_VLEN; only for value ops)
+    u8    func id               (only for function ops)
+    u16   param length + bytes  (only for function ops)
+    key bytes
+    value bytes                 (omitted when SAME_VALUE)
+
+All multi-byte integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.operations import KVOperation, OpType
+from repro.errors import ProtocolError
+
+_OPCODE_MASK = 0x0F
+_FLAG_SAME_KLEN = 0x10
+_FLAG_SAME_VLEN = 0x20
+_FLAG_SAME_VALUE = 0x40
+
+_U16 = struct.Struct("<H")
+
+
+class BatchEncoder:
+    """Packs operations into a batch payload, exploiting repetition."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = [b"\x00\x00"]  # count placeholder
+        self._count = 0
+        self._prev_klen: Optional[int] = None
+        self._prev_vlen: Optional[int] = None
+        self._prev_value: Optional[bytes] = None
+
+    def add(self, op: KVOperation) -> None:
+        if self._count >= 0xFFFF:
+            raise ProtocolError("batch op count overflow")
+        flags = 0
+        header = bytearray()
+        klen = len(op.key)
+        if klen == self._prev_klen:
+            flags |= _FLAG_SAME_KLEN
+        else:
+            header.append(klen)
+            self._prev_klen = klen
+        body = bytearray()
+        if op.carries_value:
+            assert op.value is not None
+            vlen = len(op.value)
+            if vlen == self._prev_vlen:
+                flags |= _FLAG_SAME_VLEN
+            else:
+                header.extend(_U16.pack(vlen))
+                self._prev_vlen = vlen
+            if op.value == self._prev_value:
+                flags |= _FLAG_SAME_VALUE
+            else:
+                body.extend(op.value)
+                self._prev_value = op.value
+        if op.carries_func:
+            header.append(op.func_id)
+            header.extend(_U16.pack(len(op.param)))
+            header.extend(op.param)
+        self._parts.append(bytes([op.op | flags]) + bytes(header))
+        self._parts.append(bytes(op.key))
+        if body:
+            self._parts.append(bytes(body))
+        self._count += 1
+
+    def finish(self) -> bytes:
+        """Return the encoded batch payload."""
+        self._parts[0] = _U16.pack(self._count)
+        return b"".join(self._parts)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def payload_size(self) -> int:
+        """Bytes the batch occupies so far (including the count header)."""
+        return sum(len(p) for p in self._parts)
+
+
+class BatchDecoder:
+    """Unpacks a batch payload back into operations."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise ProtocolError("truncated batch")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def _u8(self) -> int:
+        return self._take(1)[0]
+
+    def _u16(self) -> int:
+        return _U16.unpack(self._take(2))[0]
+
+    def decode(self) -> List[KVOperation]:
+        count = self._u16()
+        ops: List[KVOperation] = []
+        prev_klen: Optional[int] = None
+        prev_vlen: Optional[int] = None
+        prev_value: Optional[bytes] = None
+        for __ in range(count):
+            lead = self._u8()
+            try:
+                op_type = OpType(lead & _OPCODE_MASK)
+            except ValueError:
+                raise ProtocolError(f"bad opcode {lead & _OPCODE_MASK}")
+            if lead & _FLAG_SAME_KLEN:
+                if prev_klen is None:
+                    raise ProtocolError("SAME_KLEN with no previous op")
+                klen = prev_klen
+            else:
+                klen = self._u8()
+                prev_klen = klen
+            carries_value = op_type in (OpType.PUT, OpType.UPDATE_VECTOR2VECTOR)
+            vlen = None
+            same_value = False
+            if carries_value:
+                if lead & _FLAG_SAME_VLEN:
+                    if prev_vlen is None:
+                        raise ProtocolError("SAME_VLEN with no previous op")
+                    vlen = prev_vlen
+                else:
+                    vlen = self._u16()
+                    prev_vlen = vlen
+                same_value = bool(lead & _FLAG_SAME_VALUE)
+            func_id, param = 0, b""
+            if op_type in (
+                OpType.UPDATE_SCALAR,
+                OpType.UPDATE_SCALAR2VECTOR,
+                OpType.UPDATE_VECTOR2VECTOR,
+                OpType.REDUCE,
+                OpType.FILTER,
+            ):
+                func_id = self._u8()
+                param = self._take(self._u16())
+            key = self._take(klen)
+            value = None
+            if carries_value:
+                if same_value:
+                    if prev_value is None:
+                        raise ProtocolError("SAME_VALUE with no previous op")
+                    value = prev_value
+                    if len(value) != vlen:
+                        raise ProtocolError("SAME_VALUE length mismatch")
+                else:
+                    value = self._take(vlen)
+                    prev_value = value
+            ops.append(
+                KVOperation(
+                    op_type, key, value=value, func_id=func_id, param=param
+                )
+            )
+        if self._pos != len(self._data):
+            raise ProtocolError(
+                f"{len(self._data) - self._pos} trailing bytes after batch"
+            )
+        return ops
+
+
+def encode_batch(ops: Iterable[KVOperation]) -> bytes:
+    """Encode a sequence of operations into one batch payload."""
+    encoder = BatchEncoder()
+    for op in ops:
+        encoder.add(op)
+    return encoder.finish()
+
+
+def decode_batch(data: bytes) -> List[KVOperation]:
+    """Decode one batch payload."""
+    return BatchDecoder(data).decode()
+
+
+def encoded_size(ops: Sequence[KVOperation]) -> int:
+    """Payload size of a batch without materializing responses."""
+    return len(encode_batch(ops))

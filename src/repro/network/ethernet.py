@@ -1,0 +1,54 @@
+"""40 GbE port model: bandwidth serialization plus propagation delay."""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import BandwidthServer
+from repro.sim.stats import Counter
+
+
+class EthernetLink:
+    """A full-duplex Ethernet port.
+
+    Each direction is a serial channel at the port rate; a transfer
+    completes after serialization plus half the network round-trip time
+    (one-way propagation through the ToR switch).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = constants.NETWORK_BANDWIDTH,
+        rtt_ns: float = constants.NETWORK_RTT_NS,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError("network bandwidth must be positive")
+        if rtt_ns < 0:
+            raise ConfigurationError("network RTT must be non-negative")
+        self.sim = sim
+        self.rtt_ns = rtt_ns
+        rate = bandwidth / 1e9
+        self.ingress = BandwidthServer(sim, rate, name="eth.rx")
+        self.egress = BandwidthServer(sim, rate, name="eth.tx")
+        self.counters = Counter()
+
+    def receive(self, nbytes: int) -> Process:
+        """Client -> server transfer; completes when fully received."""
+        self.counters.add("rx_packets")
+        self.counters.add("rx_bytes", nbytes)
+        return self.sim.process(self._transfer(self.ingress, nbytes))
+
+    def send(self, nbytes: int) -> Process:
+        """Server -> client transfer; completes when delivered."""
+        self.counters.add("tx_packets")
+        self.counters.add("tx_bytes", nbytes)
+        return self.sim.process(self._transfer(self.egress, nbytes))
+
+    def _transfer(self, channel: BandwidthServer, nbytes: int):
+        yield channel.transfer(nbytes)
+        yield self.sim.timeout(self.rtt_ns / 2.0)
+
+    def snapshot(self) -> dict:
+        return self.counters.snapshot()

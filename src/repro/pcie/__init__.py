@@ -1,0 +1,28 @@
+"""PCIe substrate: links, TLP arithmetic, and the FPGA DMA engine model.
+
+Reproduces the PCIe behaviour the paper measures in Figure 3 and relies on
+throughout: Gen3 x8 endpoints with 26-byte TLP overhead, a 64-entry tag pool
+limiting read concurrency, credit-based flow control, and ~1 us random DMA
+read latency.
+"""
+
+from repro.pcie.dma import DMAEngine, MultiLinkDMA
+from repro.pcie.link import PCIeLinkConfig
+from repro.pcie.tlp import (
+    effective_bandwidth,
+    read_request_bytes,
+    read_response_bytes,
+    tlp_count,
+    write_request_bytes,
+)
+
+__all__ = [
+    "DMAEngine",
+    "MultiLinkDMA",
+    "PCIeLinkConfig",
+    "effective_bandwidth",
+    "read_request_bytes",
+    "read_response_bytes",
+    "tlp_count",
+    "write_request_bytes",
+]

@@ -1,0 +1,59 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free process-based simulator in the style of SimPy.
+Simulated time is measured in **nanoseconds** throughout the project.
+
+The kernel provides:
+
+- :class:`~repro.sim.engine.Simulator` - the event loop and clock.
+- :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Process` -
+  synchronization primitives; processes are Python generators that ``yield``
+  events.
+- :class:`~repro.sim.resources.TokenPool` - counted resource (PCIe tags,
+  flow-control credits, reservation-station entries).
+- :class:`~repro.sim.resources.BandwidthServer` - a serial channel with a
+  fixed byte rate (PCIe link, DRAM channel, Ethernet port).
+- :class:`~repro.sim.resources.FIFOServer` - a fixed-service-time pipeline
+  stage.
+- :mod:`~repro.sim.stats` - counters, histograms and percentile helpers.
+- :mod:`~repro.sim.latency` - reproducible latency distributions.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.resources import BandwidthServer, FIFOServer, Store, TokenPool
+from repro.sim.stats import Counter, Histogram, RunningStats
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthServer",
+    "ConstantLatency",
+    "Counter",
+    "Event",
+    "ExponentialLatency",
+    "FIFOServer",
+    "Histogram",
+    "Interrupt",
+    "LatencyModel",
+    "Process",
+    "RunningStats",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TokenPool",
+    "UniformLatency",
+]

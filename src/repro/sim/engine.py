@@ -1,0 +1,340 @@
+"""Event loop, events, and generator-based processes.
+
+The design mirrors SimPy's core: a :class:`Simulator` owns a priority queue
+of pending events; a :class:`Process` wraps a generator that ``yield``\\ s
+events and is resumed when they trigger.  The implementation is deliberately
+small - it exists so the hardware models in :mod:`repro.pcie`,
+:mod:`repro.dram` and :mod:`repro.network` can express concurrency (in-flight
+DMAs, pipelined operations) without any external dependency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Sentinel distinguishing "not yet triggered" from a ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; calling :meth:`succeed` or :meth:`fail` schedules
+    them for processing, at which point registered callbacks run and waiting
+    processes resume.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before it was triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` ns."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay`` ns."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run inline so late listeners don't hang.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A generator executing in simulated time.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event triggers, the generator resumes with the event's value (or the
+    event's exception is thrown into it).  The process is itself an event
+    that triggers with the generator's return value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick-start on the next simulation step at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._value = None
+        sim._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from the event we were waiting on and resume with the
+            # interrupt instead.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(self._resume)
+        wakeup._exception = Interrupt(cause)
+        wakeup._value = None
+        self.sim._schedule(wakeup, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            if not self.triggered:
+                self._value = stop.value
+                self.sim._schedule(self, 0.0)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as completion.
+            self.sim._active_process = None
+            if not self.triggered:
+                self._value = None
+                self.sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            # The process body raised: fail the process event so waiters
+            # (parent processes, sim.run) observe the exception.
+            self.sim._active_process = None
+            if not self.triggered:
+                self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}, expected an Event"
+            )
+        self._waiting_on = next_event
+        next_event.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has triggered.
+
+    Succeeds with the list of values; fails fast on the first failure.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(event._value)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def schedule_at(self, event: Event, when: float, value: Any = None) -> Event:
+        """Trigger ``event`` successfully at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now ({self._now})"
+            )
+        if event.triggered:
+            raise SimulationError("event already triggered")
+        event._value = value
+        self._schedule(event, when - self._now)
+        return event
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, __, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed, returning its value).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return target.value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError("run(until) target is in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,211 @@
+"""Shared-resource models: token pools, serial channels, pipeline stages.
+
+These are the reusable building blocks the hardware substrates are composed
+from:
+
+- PCIe tags and flow-control credits are :class:`TokenPool`\\ s.
+- A PCIe link, a DRAM channel, and an Ethernet port are
+  :class:`BandwidthServer`\\ s - serial channels that take ``size / rate``
+  seconds per transfer and queue excess demand.
+- A fully pipelined FPGA kernel stage is a :class:`FIFOServer` with an
+  initiation interval of one clock cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+class TokenPool:
+    """A counted resource with FIFO acquisition.
+
+    Models PCIe tags (64 per DMA engine), posted/non-posted header credits,
+    and reservation-station capacity.  ``acquire`` returns an event that
+    triggers once a token is available; ``release`` returns one token.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "tokens") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"{name}: capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[Event] = deque()
+        self.peak_in_use = 0
+        self.total_acquired = 0
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    def acquire(self) -> Event:
+        """Request one token; the returned event fires when granted."""
+        event = self.sim.event()
+        if self._available > 0 and not self._waiters:
+            self._available -= 1
+            self._account()
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Take a token immediately if one is free (non-blocking)."""
+        if self._available > 0 and not self._waiters:
+            self._available -= 1
+            self._account()
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one token, waking the oldest waiter if any."""
+        if self._available >= self.capacity:
+            raise SimulationError(f"{self.name}: release without acquire")
+        if self._waiters:
+            # The token passes directly to the oldest waiter; _available
+            # stays unchanged (it was consumed by the releaser and is now
+            # consumed by the waiter).
+            self._account()
+            self._waiters.popleft().succeed()
+        else:
+            self._available += 1
+
+    def _account(self) -> None:
+        self.total_acquired += 1
+        in_use = self.capacity - self._available
+        if in_use > self.peak_in_use:
+            self.peak_in_use = in_use
+
+
+class BandwidthServer:
+    """A serial channel with a fixed byte rate.
+
+    Each transfer occupies the channel for ``size / rate`` ns after all
+    previously submitted transfers have drained, which models head-of-line
+    serialization on a PCIe link, a DRAM channel, or an Ethernet port.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_ns: float,
+        name: str = "channel",
+    ) -> None:
+        if bytes_per_ns <= 0:
+            raise SimulationError(f"{name}: rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.bytes_per_ns = bytes_per_ns
+        self._free_at = 0.0
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self.busy_time = 0.0
+
+    @classmethod
+    def from_bytes_per_sec(
+        cls, sim: Simulator, bytes_per_sec: float, name: str = "channel"
+    ) -> "BandwidthServer":
+        return cls(sim, bytes_per_sec / 1e9, name)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Serialize ``nbytes`` through the channel; event fires when done."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative transfer size")
+        start = max(self.sim.now, self._free_at)
+        duration = nbytes / self.bytes_per_ns
+        self._free_at = start + duration
+        self.bytes_transferred += nbytes
+        self.transfers += 1
+        self.busy_time += duration
+        event = self.sim.event()
+        self.sim.schedule_at(event, self._free_at)
+        return event
+
+    def queue_delay(self) -> float:
+        """Current backlog in ns (0 when the channel is idle)."""
+        return max(0.0, self._free_at - self.sim.now)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the channel was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / self.sim.now)
+
+
+class FIFOServer:
+    """A pipeline stage with a fixed initiation interval.
+
+    A fully pipelined FPGA kernel accepts one item per clock cycle; the
+    initiation interval is the per-item service time and latency is how long
+    one item spends in the pipe.  Items complete in order.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        initiation_interval_ns: float,
+        latency_ns: float = 0.0,
+        name: str = "stage",
+    ) -> None:
+        if initiation_interval_ns <= 0:
+            raise SimulationError(f"{name}: initiation interval must be > 0")
+        if latency_ns < 0:
+            raise SimulationError(f"{name}: latency must be >= 0")
+        self.sim = sim
+        self.name = name
+        self.interval = initiation_interval_ns
+        self.latency = latency_ns
+        self._next_issue = 0.0
+        self.items = 0
+
+    def submit(self) -> Event:
+        """Enter the pipeline; the event fires when the item exits."""
+        issue = max(self.sim.now, self._next_issue)
+        self._next_issue = issue + self.interval
+        self.items += 1
+        event = self.sim.event()
+        self.sim.schedule_at(event, issue + self.latency + self.interval)
+        return event
+
+    def issue_time(self) -> float:
+        """Absolute time the next submission would issue at."""
+        return max(self.sim.now, self._next_issue)
+
+
+class Store:
+    """An unbounded FIFO queue of items between producer/consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[object]:
+        return self._items[0] if self._items else None

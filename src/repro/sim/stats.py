@@ -1,0 +1,206 @@
+"""Measurement utilities: counters, histograms, running statistics.
+
+Every hardware model exposes its behaviour through these so benchmarks can
+report the same quantities the paper plots (throughput in Mops, latency
+percentiles, memory accesses per operation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+class RunningStats:
+    """Streaming mean / variance / min / max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another RunningStats into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class Histogram:
+    """A sample collection with exact percentiles.
+
+    Stores raw samples (the simulation scales are small enough); computes
+    percentiles by interpolation, matching ``numpy.percentile``'s default.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile; ``pct`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError("percentile of empty histogram")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (pct / 100.0) * (len(self._samples) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high or self._samples[low] == self._samples[high]:
+            return self._samples[low]
+        frac = rank - low
+        return self._samples[low] * (1 - frac) + self._samples[high] * frac
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty histogram")
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        return self._samples[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return ``points`` (value, cumulative fraction) pairs."""
+        if not self._samples:
+            return []
+        self._ensure_sorted()
+        n = len(self._samples)
+        out = []
+        for i in range(points):
+            frac = (i + 1) / points
+            idx = min(n - 1, int(round(frac * n)) - 1)
+            out.append((self._samples[max(0, idx)], frac))
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Mean and the percentiles the paper quotes (5/50/95/99)."""
+        if not self._samples:
+            return {}
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "min": self.min(),
+            "p5": self.percentile(5),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+
+def mops(operations: int, elapsed_ns: float) -> float:
+    """Throughput in million operations per second."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return operations / elapsed_ns * 1e3
+
+
+def gbps(nbytes: float, elapsed_ns: float) -> float:
+    """Throughput in gigabytes per second."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes / elapsed_ns
+
+
+def percentile(samples: Iterable[float], pct: float) -> float:
+    """Convenience one-shot percentile over an iterable."""
+    hist = Histogram()
+    hist.extend(samples)
+    return hist.percentile(pct)

@@ -1,0 +1,66 @@
+"""Key/value generation for benchmark corpora.
+
+Section 5.2.1: "we generate random KV pairs with a given size ... To test
+inline case, we use KV size that is a multiple of slot size.  To test
+non-inline case, we use KV size that is a power of two minus 2 bytes (for
+metadata)."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.constants import SLOT_SIZE
+
+
+class KeySpace:
+    """A corpus of fixed-size KV pairs indexed by integer."""
+
+    def __init__(
+        self,
+        count: int,
+        kv_size: int,
+        key_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if key_size < 4 or key_size > 255:
+            raise ValueError("key_size must be in [4, 255]")
+        if kv_size <= key_size:
+            raise ValueError("kv_size must exceed key_size")
+        self.count = count
+        self.kv_size = kv_size
+        self.key_size = key_size
+        self.value_size = kv_size - key_size
+        self._rng = random.Random(seed)
+        self._value_seed = seed
+
+    def key(self, index: int) -> bytes:
+        """Deterministic key of ``index``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"key index {index} outside [0, {self.count})")
+        return index.to_bytes(self.key_size, "big")
+
+    def value(self, index: int) -> bytes:
+        """Deterministic pseudo-random value for ``index``."""
+        rng = random.Random((self._value_seed << 32) ^ index)
+        return bytes(rng.getrandbits(8) for __ in range(self.value_size))
+
+    def pair(self, index: int) -> Tuple[bytes, bytes]:
+        return self.key(index), self.value(index)
+
+    def pairs(self) -> Iterator[Tuple[bytes, bytes]]:
+        for index in range(self.count):
+            yield self.pair(index)
+
+
+def inline_kv_sizes(max_size: int = 50) -> List[int]:
+    """KV sizes that are multiples of the slot size (inline test points)."""
+    return list(range(SLOT_SIZE, max_size + 1, SLOT_SIZE))
+
+
+def noninline_kv_sizes(max_exponent: int = 8) -> List[int]:
+    """Power-of-two-minus-2 KV sizes (non-inline test points): 62, 126, 254."""
+    return [2**e - 2 for e in range(6, max_exponent + 1)]

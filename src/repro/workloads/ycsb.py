@@ -1,0 +1,91 @@
+"""YCSB-style workload generation (section 5.2).
+
+A workload is a GET/PUT mix over a key popularity distribution.  The paper
+reports PUT ratios of 0 % (100 % GET), 5 %, 50 % and 100 % under both
+uniform and long-tail (Zipf 0.99) key popularity - the axes of Figures 16
+and 17.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.constants import ZIPF_SKEW
+from repro.core.operations import KVOperation
+from repro.workloads.keyspace import KeySpace
+from repro.workloads.zipf import UniformSampler, ZipfSampler
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one benchmark workload."""
+
+    #: Fraction of operations that are PUTs (the rest are GETs).
+    put_ratio: float = 0.0
+    #: "uniform" or "zipf" (the paper's long-tail, skew 0.99).
+    distribution: str = "uniform"
+    zipf_skew: float = ZIPF_SKEW
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.put_ratio <= 1.0:
+            raise ValueError(f"put ratio must be in [0, 1]: {self.put_ratio}")
+        if self.distribution not in ("uniform", "zipf"):
+            raise ValueError(f"unknown distribution: {self.distribution}")
+
+    @property
+    def name(self) -> str:
+        dist = "long-tail" if self.distribution == "zipf" else "uniform"
+        return f"{dist}/{int(self.put_ratio * 100)}%PUT"
+
+
+class YCSBGenerator:
+    """Generates operation streams over a :class:`KeySpace`."""
+
+    def __init__(self, keyspace: KeySpace, spec: WorkloadSpec) -> None:
+        self.keyspace = keyspace
+        self.spec = spec
+        if spec.distribution == "zipf":
+            self.sampler = ZipfSampler(
+                keyspace.count, skew=spec.zipf_skew, seed=spec.seed
+            )
+        else:
+            self.sampler = UniformSampler(keyspace.count, seed=spec.seed)
+        self._rng = random.Random(spec.seed ^ 0x5CB)
+
+    def load_phase(self) -> Iterator[KVOperation]:
+        """PUTs inserting the whole corpus (benchmark preparation)."""
+        for index in range(self.keyspace.count):
+            key, value = self.keyspace.pair(index)
+            yield KVOperation.put(key, value)
+
+    def operations(self, count: int) -> List[KVOperation]:
+        """The measurement phase: ``count`` GET/PUT ops."""
+        ops: List[KVOperation] = []
+        for seq in range(count):
+            index = self.sampler.sample()
+            if self._rng.random() < self.spec.put_ratio:
+                key, value = self.keyspace.pair(index)
+                ops.append(KVOperation.put(key, value, seq=seq))
+            else:
+                ops.append(KVOperation.get(self.keyspace.key(index), seq=seq))
+        return ops
+
+
+#: The four PUT ratios Figures 16/17 sweep.
+PAPER_PUT_RATIOS = (0.0, 0.05, 0.5, 1.0)
+
+
+def paper_workloads(seed: int = 0) -> List[WorkloadSpec]:
+    """The eight (distribution, put-ratio) combinations of Figure 16."""
+    specs = []
+    for distribution in ("uniform", "zipf"):
+        for put_ratio in PAPER_PUT_RATIOS:
+            specs.append(
+                WorkloadSpec(
+                    put_ratio=put_ratio, distribution=distribution, seed=seed
+                )
+            )
+    return specs

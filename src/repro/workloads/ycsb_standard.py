@@ -1,0 +1,126 @@
+"""The standard YCSB core workloads A-F, mapped onto KV-Direct operations.
+
+The paper benchmarks "YCSB workload" with explicit GET/PUT mixes; this
+module provides the named presets from the YCSB paper for convenience:
+
+- **A** update-heavy: 50 % read / 50 % update, Zipf;
+- **B** read-mostly: 95 % read / 5 % update, Zipf;
+- **C** read-only: 100 % read, Zipf;
+- **D** read-latest: 95 % read / 5 % insert; reads skew to recent inserts;
+- **F** read-modify-write: 50 % read / 50 % RMW, Zipf.
+
+Workload E (scans) is omitted: KV-Direct is a hash store and, like the
+paper, supports no range scans.  RMW in F maps naturally onto KV-Direct's
+atomic UPDATE - the server-side fetch-add the paper's §3.2 motivates -
+instead of the client-side read-then-write YCSB assumes.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterator, List
+
+from repro.constants import ZIPF_SKEW
+from repro.core.operations import KVOperation, OpType
+from repro.core.vector import FETCH_ADD
+from repro.errors import ConfigurationError
+from repro.workloads.keyspace import KeySpace
+from repro.workloads.zipf import ZipfSampler
+
+#: The supported preset letters.
+WORKLOADS = ("A", "B", "C", "D", "F")
+
+
+class StandardYCSB:
+    """Generates operation streams for the named YCSB core workloads."""
+
+    def __init__(
+        self, keyspace: KeySpace, workload: str, seed: int = 0
+    ) -> None:
+        workload = workload.upper()
+        if workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unsupported YCSB workload {workload!r}; "
+                f"choose one of {WORKLOADS} (E needs range scans)"
+            )
+        self.keyspace = keyspace
+        self.workload = workload
+        self.seed = seed
+        self._rng = random.Random(seed ^ 0xACE)
+        self._zipf = ZipfSampler(keyspace.count, skew=ZIPF_SKEW, seed=seed)
+        #: For workload D: keys inserted so far beyond the base corpus.
+        self._inserted = 0
+
+    # -- composition -----------------------------------------------------------
+
+    def load_phase(self) -> Iterator[KVOperation]:
+        """Insert the base corpus (counter-valued for workload F)."""
+        for index in range(self.keyspace.count):
+            yield KVOperation.put(self.keyspace.key(index),
+                                  self._value(index))
+
+    def _value(self, index: int) -> bytes:
+        if self.workload == "F":
+            # RMW targets: 8-byte counters.
+            return struct.pack("<q", index)
+        return self.keyspace.value(index)
+
+    def operations(self, count: int) -> List[KVOperation]:
+        make = getattr(self, f"_op_{self.workload.lower()}")
+        return [make(seq) for seq in range(count)]
+
+    # -- per-workload op construction ----------------------------------------------
+
+    def _read(self, seq: int) -> KVOperation:
+        return KVOperation.get(self.keyspace.key(self._zipf.sample()),
+                               seq=seq)
+
+    def _update(self, seq: int) -> KVOperation:
+        index = self._zipf.sample()
+        return KVOperation.put(
+            self.keyspace.key(index), self._value(index), seq=seq
+        )
+
+    def _op_a(self, seq: int) -> KVOperation:
+        return self._read(seq) if self._rng.random() < 0.5 else self._update(seq)
+
+    def _op_b(self, seq: int) -> KVOperation:
+        return self._read(seq) if self._rng.random() < 0.95 else self._update(seq)
+
+    def _op_c(self, seq: int) -> KVOperation:
+        return self._read(seq)
+
+    def _op_d(self, seq: int) -> KVOperation:
+        if self._rng.random() < 0.05 or self._inserted == 0:
+            self._inserted += 1
+            key = b"new:" + self._inserted.to_bytes(8, "big")
+            return KVOperation.put(key, self.keyspace.value(0), seq=seq)
+        # Read-latest: geometric skew toward the newest inserts.
+        back = min(
+            self._inserted - 1, int(self._rng.expovariate(1 / 4.0))
+        )
+        key = b"new:" + (self._inserted - back).to_bytes(8, "big")
+        return KVOperation.get(key, seq=seq)
+
+    def _op_f(self, seq: int) -> KVOperation:
+        if self._rng.random() < 0.5:
+            return self._read(seq)
+        # Read-modify-write as one NIC-side atomic (returns the old value).
+        return KVOperation.update(
+            self.keyspace.key(self._zipf.sample()),
+            FETCH_ADD,
+            struct.pack("<q", 1),
+            seq=seq,
+        )
+
+
+def mix_of(workload: str) -> dict:
+    """The nominal op mix of a preset (for documentation and tests)."""
+    return {
+        "A": {"read": 0.5, "update": 0.5},
+        "B": {"read": 0.95, "update": 0.05},
+        "C": {"read": 1.0},
+        "D": {"read": 0.95, "insert": 0.05},
+        "F": {"read": 0.5, "rmw": 0.5},
+    }[workload.upper()]

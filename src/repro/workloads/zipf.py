@@ -1,0 +1,98 @@
+"""Key-popularity samplers: uniform and Zipf (long-tail).
+
+The Zipf sampler uses the alias method over the exact Zipf PMF, giving
+O(1) draws after O(n) setup - fast enough to generate millions of requests
+against scaled-down key spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import ZIPF_SKEW
+
+
+class UniformSampler:
+    """Every key equally likely."""
+
+    def __init__(self, population: int, seed: Optional[int] = 0) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        self.population = population
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.population)
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for __ in range(count)]
+
+
+class ZipfSampler:
+    """Zipf-distributed ranks with the paper's skewness 0.99.
+
+    Rank ``r`` (0-based) has probability proportional to ``1/(r+1)**s``.
+    Draws use Vose's alias method.
+    """
+
+    def __init__(
+        self,
+        population: int,
+        skew: float = ZIPF_SKEW,
+        seed: Optional[int] = 0,
+        shuffle: bool = True,
+    ) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.population = population
+        self.skew = skew
+        self._rng = random.Random(seed)
+        weights = 1.0 / np.power(np.arange(1, population + 1, dtype=float), skew)
+        probabilities = weights / weights.sum()
+        self._alias, self._prob = self._build_alias(probabilities)
+        # Map popularity ranks onto key indices in a shuffled order so hot
+        # keys are not clustered in adjacent hash buckets.
+        self._rank_to_key = np.arange(population)
+        if shuffle:
+            shuffler = np.random.RandomState(seed)
+            shuffler.shuffle(self._rank_to_key)
+
+    @staticmethod
+    def _build_alias(probabilities: np.ndarray):
+        n = len(probabilities)
+        prob = np.zeros(n)
+        alias = np.zeros(n, dtype=np.int64)
+        scaled = probabilities * n
+        small = [i for i, p in enumerate(scaled) if p < 1.0]
+        large = [i for i, p in enumerate(scaled) if p >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s, l = small.pop(), large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] + scaled[s] - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for leftover in small + large:
+            prob[leftover] = 1.0
+        return alias, prob
+
+    def sample(self) -> int:
+        """Draw one key index."""
+        column = self._rng.randrange(self.population)
+        if self._rng.random() < self._prob[column]:
+            rank = column
+        else:
+            rank = int(self._alias[column])
+        return int(self._rank_to_key[rank])
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for __ in range(count)]
+
+    def hot_keys(self, count: int) -> List[int]:
+        """The ``count`` most popular key indices."""
+        return [int(self._rank_to_key[r]) for r in range(min(count, self.population))]

@@ -1,0 +1,269 @@
+"""Unit tests for the baseline hash tables and analytic models."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.baselines import (
+    CPUKVSModel,
+    CuckooHashTable,
+    HopscotchHashTable,
+    OneSidedRDMAModel,
+    TwoSidedRDMAModel,
+)
+from repro.baselines.cuckoo import BUCKET_BYTES as CUCKOO_BUCKET_BYTES
+from repro.core.slab import SlabAllocator
+from repro.core.slab_host import HostSlabManager
+from repro.dram.host import MemoryImage
+from repro.errors import KeyTooLargeError
+
+
+def make_cuckoo(memory_size=1 << 20, index_ratio=0.5, **kwargs):
+    memory = MemoryImage(memory_size)
+    index_bytes = int(memory_size * index_ratio) // 64 * 64
+    host = HostSlabManager(base=index_bytes, size=memory_size - index_bytes)
+    allocator = SlabAllocator(host)
+    return CuckooHashTable(
+        memory, allocator, index_bytes // CUCKOO_BUCKET_BYTES, **kwargs
+    )
+
+
+def make_hopscotch(memory_size=1 << 20, index_ratio=0.5, **kwargs):
+    memory = MemoryImage(memory_size)
+    index_bytes = int(memory_size * index_ratio) // 64 * 64
+    host = HostSlabManager(base=index_bytes, size=memory_size - index_bytes)
+    allocator = SlabAllocator(host)
+    return HopscotchHashTable(
+        memory, allocator, index_bytes // 64, **kwargs
+    )
+
+
+class TestCuckooBasics:
+    def test_put_get_delete(self):
+        table = make_cuckoo()
+        table.put(b"key", b"value")
+        assert table.get(b"key") == b"value"
+        assert table.delete(b"key")
+        assert table.get(b"key") is None
+
+    def test_overwrite(self):
+        table = make_cuckoo()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2" * 30)
+        assert table.get(b"k") == b"v2" * 30
+        assert len(table) == 1
+
+    def test_many_keys(self):
+        table = make_cuckoo()
+        for i in range(1500):
+            table.put(b"k%07d" % i, b"v%07d" % i)
+        assert len(table) == 1500
+        for i in range(0, 1500, 83):
+            assert table.get(b"k%07d" % i) == b"v%07d" % i
+
+    def test_displacement_occurs_under_load(self):
+        table = make_cuckoo(memory_size=1 << 17, index_ratio=0.05)
+        count = int(table.num_buckets * 4 * 0.85)  # 85 % load factor
+        for i in range(count):
+            table.put(b"k%07d" % i, b"v" * 16)
+        assert table.counters["kicks"] > 0
+        for i in range(count):
+            assert table.get(b"k%07d" % i) == b"v" * 16
+
+    def test_key_length_limit(self):
+        table = make_cuckoo()
+        with pytest.raises(KeyTooLargeError):
+            table.put(b"x" * 12, b"v")
+
+    def test_get_cost_at_least_two(self):
+        """Values live in slabs: every hit costs >= 2 accesses."""
+        table = make_cuckoo()
+        table.put(b"key", b"value")
+        table.get_cost = type(table.get_cost)()
+        table.get(b"key")
+        assert table.get_cost.mean >= 2.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "delete"]),
+                st.binary(min_size=1, max_size=11),
+                st.binary(min_size=0, max_size=64),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_dict_semantics(self, commands):
+        table = make_cuckoo(memory_size=1 << 18)
+        model = {}
+        for action, key, value in commands:
+            if action == "put":
+                table.put(key, value)
+                model[key] = value
+            elif action == "get":
+                assert table.get(key) == model.get(key)
+            else:
+                assert table.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(table) == len(model)
+
+
+class TestHopscotchBasics:
+    def test_put_get_delete(self):
+        table = make_hopscotch()
+        table.put(b"key", b"value")
+        assert table.get(b"key") == b"value"
+        assert table.delete(b"key")
+        assert table.get(b"key") is None
+
+    def test_many_keys(self):
+        table = make_hopscotch()
+        for i in range(1500):
+            table.put(b"k%07d" % i, b"v%07d" % i)
+        assert len(table) == 1500
+        for i in range(0, 1500, 83):
+            assert table.get(b"k%07d" % i) == b"v%07d" % i
+
+    def test_neighborhood_get_is_cheap(self):
+        """GET = one neighborhood read + one value read."""
+        table = make_hopscotch()
+        table.put(b"key", b"value")
+        table.get_cost = type(table.get_cost)()
+        table.get(b"key")
+        assert table.get_cost.mean <= 2.0
+
+    def test_displacement_under_load(self):
+        table = make_hopscotch(memory_size=1 << 17, index_ratio=0.02)
+        count = table.num_buckets * 4  # fill to 100 % load factor
+        for i in range(count):
+            table.put(b"k%07d" % i, b"v" * 16)
+        # Dense table: bubbling and/or chaining must have happened.
+        assert (
+            table.counters["bubbles"] > 0 or table.counters["chained"] > 0
+        )
+        for i in range(count):
+            assert table.get(b"k%07d" % i) == b"v" * 16
+
+    def test_put_cost_grows_with_utilization(self):
+        """The paper's point: hopscotch PUT degrades at high load factor."""
+        sparse = make_hopscotch(memory_size=1 << 18, index_ratio=0.5)
+        dense = make_hopscotch(memory_size=1 << 18, index_ratio=0.02)
+        for i in range(300):
+            sparse.put(b"k%07d" % i, b"v" * 16)
+            dense.put(b"k%07d" % i, b"v" * 16)
+        assert dense.put_cost.mean > sparse.put_cost.mean
+
+    def test_overwrite(self):
+        table = make_hopscotch()
+        table.put(b"k", b"a" * 10)
+        table.put(b"k", b"b" * 100)
+        assert table.get(b"k") == b"b" * 100
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "delete"]),
+                st.binary(min_size=1, max_size=11),
+                st.binary(min_size=0, max_size=64),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_dict_semantics(self, commands):
+        table = make_hopscotch(memory_size=1 << 18)
+        model = {}
+        for action, key, value in commands:
+            if action == "put":
+                table.put(key, value)
+                model[key] = value
+            elif action == "get":
+                assert table.get(key) == model.get(key)
+            else:
+                assert table.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(table) == len(model)
+
+
+class TestCPUModel:
+    def test_throughput(self):
+        model = CPUKVSModel(cores=16)
+        assert model.throughput(batched=True) == pytest.approx(16 * 7.9e6)
+        assert model.throughput(batched=False) == pytest.approx(16 * 5.5e6)
+
+    def test_paper_equivalence_claim(self):
+        """180 Mops is 'equivalent to the throughput of tens of CPU cores'
+        (the paper quotes 36 at 5 Mops/core [47])."""
+        model = CPUKVSModel()
+        cores = model.cores_for_throughput(180e6)
+        assert 25 < cores < 40
+
+    def test_latency_monotone(self):
+        model = CPUKVSModel()
+        assert model.latency_percentile(99) > model.latency_percentile(50)
+
+
+class TestRDMAModels:
+    def test_two_sided_cpu_bound(self):
+        model = TwoSidedRDMAModel(cores=1)
+        assert model.throughput() == pytest.approx(7.9e6)
+
+    def test_two_sided_nic_bound(self):
+        model = TwoSidedRDMAModel(cores=64)
+        assert model.throughput() == model.nic_message_rate
+
+    def test_one_sided_get_beats_put(self):
+        model = OneSidedRDMAModel()
+        assert model.get_throughput() > model.put_throughput()
+
+    def test_one_sided_blend_monotone_in_put_ratio(self):
+        model = OneSidedRDMAModel()
+        assert model.throughput(0.0) > model.throughput(0.5) > model.throughput(1.0)
+
+    def test_atomics_match_paper_measurement(self):
+        model = OneSidedRDMAModel()
+        assert model.atomics_throughput(1) == constants.RDMA_ATOMICS_OPS
+
+    def test_atomics_scale_with_keys_until_nic_bound(self):
+        model = OneSidedRDMAModel()
+        assert model.atomics_throughput(2) == pytest.approx(2 * 2.24e6)
+        assert model.atomics_throughput(10**6) == model.nic_message_rate
+
+
+class TestHopscotchOverflowChains:
+    def _full_table(self):
+        """Force the chained-overflow path with a tiny, dense table."""
+        import random
+
+        table = make_hopscotch(memory_size=1 << 18, index_ratio=0.005)
+        rng = random.Random(5)
+        keys = []
+        while table.counters["chained"] < 3:
+            key = rng.getrandbits(64).to_bytes(8, "big")
+            table.put(key, b"v")
+            keys.append(key)
+            assert len(keys) < 20_000, "never chained"
+        return table, keys
+
+    def test_chained_entries_retrievable(self):
+        table, keys = self._full_table()
+        for key in keys:
+            assert table.get(key) == b"v"
+
+    def test_chained_entry_update(self):
+        table, keys = self._full_table()
+        for key in keys[-3:]:
+            table.put(key, b"longer-value")
+            assert table.get(key) == b"longer-value"
+        assert len(table) == len(keys)
+
+    def test_chained_entry_delete(self):
+        table, keys = self._full_table()
+        count = len(keys)
+        for key in keys[-3:]:
+            assert table.delete(key)
+        assert len(table) == count - 3
+        for key in keys[-3:]:
+            assert table.get(key) is None

@@ -1,0 +1,99 @@
+"""Tests for chained-bucket unlinking on delete."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.test_hashtable import make_table
+
+
+def _chained_table(keys=300):
+    """A 10-bucket table forced into heavy chaining."""
+    table = make_table(memory_size=1 << 16, index_ratio=0.01)
+    names = [b"key%04d" % i for i in range(keys)]
+    for key in names:
+        table.put(key, b"v" * 30)
+    assert table.counters["chained_buckets"] > 0
+    return table, names
+
+
+class TestChainUnlinking:
+    def test_unlink_after_full_delete(self):
+        table, keys = _chained_table()
+        for key in keys:
+            assert table.delete(key)
+        assert table.counters["unlinked_buckets"] > 0
+        assert len(table) == 0
+
+    def test_unlinked_buckets_return_to_allocator(self):
+        table, keys = _chained_table()
+        chained = table.counters["chained_buckets"]
+        frees_before = table.allocator.counters["frees"]
+        for key in keys:
+            table.delete(key)
+        # Every chained 64 B bucket (plus every 30 B record) was freed.
+        freed = table.allocator.counters["frees"] - frees_before
+        assert freed >= chained + len(keys)
+
+    def test_survivors_still_reachable_after_unlink(self):
+        table, keys = _chained_table()
+        for key in keys[::2]:
+            table.delete(key)
+        for key in keys[1::2]:
+            assert table.get(key) == b"v" * 30
+
+    def test_chain_shrinks_and_regrows(self):
+        """After delete + unlink, re-inserting reuses freed buckets."""
+        table, keys = _chained_table()
+        for key in keys:
+            table.delete(key)
+        for key in keys:
+            table.put(key, b"w" * 30)
+        for key in keys:
+            assert table.get(key) == b"w" * 30
+
+    def test_primary_bucket_never_unlinked(self):
+        table = make_table(memory_size=1 << 16, index_ratio=0.01)
+        table.put(b"solo", b"v")
+        table.delete(b"solo")
+        assert table.counters["unlinked_buckets"] == 0
+
+    def test_get_cost_drops_after_unlink(self):
+        """Unlinking shortens chains, so lookups get cheaper again."""
+        table, keys = _chained_table()
+        survivors = keys[:20]
+        table.get_cost = type(table.get_cost)()
+        for key in survivors:
+            table.get(key)
+        cost_before = table.get_cost.mean
+        for key in keys[20:]:
+            table.delete(key)
+        table.get_cost = type(table.get_cost)()
+        for key in survivors:
+            table.get(key)
+        assert table.get_cost.mean <= cost_before
+
+    @given(st.lists(st.integers(0, 120), min_size=1, max_size=250))
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_churn_consistency(self, indices):
+        """Random put/delete churn through chained buckets stays
+        dict-consistent with unlinking active."""
+        table = make_table(memory_size=1 << 17, index_ratio=0.005)
+        model = {}
+        for i, index in enumerate(indices):
+            key = b"k%03d" % index
+            if i % 3 == 2 and key in model:
+                assert table.delete(key)
+                del model[key]
+            else:
+                value = b"v" * (10 + index % 40)
+                table.put(key, value)
+                model[key] = value
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.get(key) == value
+        assert dict(table.items()) == model

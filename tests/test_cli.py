@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_info_lists_constants(self):
+        code, output = run_cli("info")
+        assert code == 0
+        assert "180 MHz" in output
+        assert "Gen3 x8" in output
+        assert "64 B, 10 slots" in output
+
+
+class TestYCSB:
+    def test_small_run(self):
+        code, output = run_cli(
+            "ycsb", "--kv-size", "13", "--ops", "300", "--corpus", "500",
+            "--memory-mib", "4", "--concurrency", "64",
+        )
+        assert code == 0
+        assert "throughput" in output
+        assert "Mops" in output
+
+    def test_zipf_put_mix(self):
+        code, output = run_cli(
+            "ycsb", "--distribution", "zipf", "--put-ratio", "0.5",
+            "--ops", "300", "--corpus", "500", "--memory-mib", "4",
+        )
+        assert code == 0
+        assert "long-tail/50%PUT" in output
+
+    def test_ablation_flags(self):
+        code, output = run_cli(
+            "ycsb", "--no-ooo", "--no-nic-dram", "--ops", "200",
+            "--corpus", "300", "--memory-mib", "4",
+        )
+        assert code == 0
+        assert "cache hit rate" in output
+
+
+class TestAtomics:
+    def test_with_ooo(self):
+        code, output = run_cli("atomics", "--keys", "2", "--ops", "400")
+        assert code == 0
+        assert "out-of-order" in output
+
+    def test_without_ooo(self):
+        code, output = run_cli(
+            "atomics", "--keys", "1", "--ops", "100", "--no-ooo"
+        )
+        assert code == 0
+        assert "stalling" in output
+
+
+class TestPCIe:
+    def test_read(self):
+        code, output = run_cli("pcie", "--payload", "64", "--ops", "500")
+        assert code == 0
+        assert "DMA read" in output
+        assert "p99 latency" in output
+
+    def test_write(self):
+        code, output = run_cli(
+            "pcie", "--payload", "64", "--ops", "500", "--write"
+        )
+        assert code == 0
+        assert "DMA write" in output
+
+
+class TestTune:
+    def test_tune(self):
+        code, output = run_cli(
+            "tune", "--kv-size", "30", "--utilization", "0.1",
+            "--memory-mib", "1",
+        )
+        assert code == 0
+        assert "optimal hash index ratio" in output
+
+
+class TestErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            run_cli("nonsense")
+
+    def test_missing_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "--kv-size", "30")
+
+
+class TestRecordReplay:
+    def test_record_then_replay(self, tmp_path):
+        path = str(tmp_path / "w.kvdt")
+        code, output = run_cli(
+            "record", path, "--ops", "200", "--corpus", "100",
+            "--load-phase",
+        )
+        assert code == 0
+        assert "Trace recorded" in output
+        code, output = run_cli("replay", path, "--memory-mib", "4")
+        assert code == 0
+        assert "final keys" in output
+        assert "100" in output  # the whole corpus survives
+
+    def test_replay_timed(self, tmp_path):
+        path = str(tmp_path / "w.kvdt")
+        run_cli("record", path, "--ops", "150", "--corpus", "80")
+        code, output = run_cli(
+            "replay", path, "--timed", "--memory-mib", "4",
+            "--concurrency", "32",
+        )
+        assert code == 0
+        assert "Mops" in output
+
+
+class TestStandardWorkloads:
+    def test_ycsb_f(self):
+        code, output = run_cli(
+            "ycsb", "--standard", "F", "--ops", "300", "--corpus", "200",
+            "--memory-mib", "4",
+        )
+        assert code == 0
+        assert "YCSB-F" in output
+
+    def test_ycsb_d(self):
+        code, output = run_cli(
+            "ycsb", "--standard", "D", "--ops", "300", "--corpus", "200",
+            "--memory-mib", "4",
+        )
+        assert code == 0
+        assert "YCSB-D" in output

@@ -1,0 +1,240 @@
+"""Unit tests for the 64 B bucket codec (Figure 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constants import BUCKET_SIZE, SLOTS_PER_BUCKET
+from repro.core.hashindex import (
+    Bucket,
+    inline_slots_needed,
+    max_inline_kv_size,
+    pack_slot,
+    unpack_slot,
+)
+from repro.errors import KVDirectError
+
+
+class TestSlotWords:
+    def test_pack_unpack_roundtrip(self):
+        word = pack_slot(pointer=123456, secondary=321)
+        assert unpack_slot(word) == (123456, 321)
+
+    def test_limits(self):
+        max_ptr = (1 << 31) - 1
+        max_sec = (1 << 9) - 1
+        assert unpack_slot(pack_slot(max_ptr, max_sec)) == (max_ptr, max_sec)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KVDirectError):
+            pack_slot(1 << 31, 0)
+        with pytest.raises(KVDirectError):
+            pack_slot(0, 1 << 9)
+        with pytest.raises(KVDirectError):
+            pack_slot(-1, 0)
+
+    @given(st.integers(0, (1 << 31) - 1), st.integers(0, 511))
+    def test_roundtrip_property(self, pointer, secondary):
+        assert unpack_slot(pack_slot(pointer, secondary)) == (pointer, secondary)
+
+    def test_slot_word_fits_five_bytes(self):
+        word = pack_slot((1 << 31) - 1, 511)
+        assert word < 1 << 40
+
+
+class TestInlineSizing:
+    def test_small_kv(self):
+        # 2 B header + 8 B KV = 10 B -> 2 slots
+        assert inline_slots_needed(8) == 2
+
+    def test_exact_slot(self):
+        assert inline_slots_needed(3) == 1  # 2 + 3 = 5
+        assert inline_slots_needed(4) == 2  # 2 + 4 = 6
+
+    def test_max(self):
+        assert inline_slots_needed(max_inline_kv_size()) == SLOTS_PER_BUCKET
+
+    def test_negative_rejected(self):
+        with pytest.raises(KVDirectError):
+            inline_slots_needed(-1)
+
+
+class TestBucketCodec:
+    def test_empty_roundtrip(self):
+        bucket = Bucket()
+        assert Bucket.unpack(bucket.pack()).pack() == bucket.pack()
+        assert bucket.pack() == Bucket.empty_bytes()
+
+    def test_size(self):
+        assert len(Bucket().pack()) == BUCKET_SIZE
+
+    def test_pointer_roundtrip(self):
+        bucket = Bucket()
+        bucket.set_pointer(3, pointer=999, secondary=77, slab_type=4)
+        decoded = Bucket.unpack(bucket.pack())
+        slots = list(decoded.pointer_slots())
+        assert slots == [(3, 999, 77)]
+        assert decoded.slab_types[3] == 4
+
+    def test_chain_pointer_roundtrip(self):
+        bucket = Bucket()
+        bucket.chain_ptr = (1 << 31) - 1
+        assert Bucket.unpack(bucket.pack()).chain_ptr == (1 << 31) - 1
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(KVDirectError):
+            Bucket.unpack(b"\x00" * 63)
+
+    def test_bad_slab_type_rejected(self):
+        bucket = Bucket()
+        bucket.slab_types[0] = 8
+        with pytest.raises(KVDirectError):
+            bucket.pack()
+
+
+class TestInlineKVs:
+    def test_write_read(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"key", b"value")
+        assert bucket.read_inline(0) == (b"key", b"value")
+
+    def test_find_inline(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"aa", b"11")
+        bucket.write_inline(2, b"bb", b"2222")
+        assert bucket.find_inline(b"aa") == 0
+        assert bucket.find_inline(b"bb") == 2
+        assert bucket.find_inline(b"cc") is None
+
+    def test_spans(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"aa", b"11")  # 6 B -> 2 slots
+        bucket.write_inline(2, b"b", b"")  # 3 B -> 1 slot
+        assert list(bucket.inline_spans()) == [(0, 2), (2, 1)]
+
+    def test_erase(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"key", b"value")
+        bucket.erase_inline(0)
+        assert bucket.find_inline(b"key") is None
+        assert bucket.free_slots() == SLOTS_PER_BUCKET
+        assert bucket.is_empty()
+
+    def test_codec_roundtrip_with_inline(self):
+        bucket = Bucket()
+        bucket.write_inline(4, b"hello", b"world!")
+        decoded = Bucket.unpack(bucket.pack())
+        assert decoded.read_inline(4) == (b"hello", b"world!")
+        assert decoded.find_inline(b"hello") == 4
+
+    def test_inline_and_pointer_coexist(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"aaa", b"bbb")  # 8 B -> 2 slots
+        bucket.set_pointer(5, 1234, 56, 2)
+        decoded = Bucket.unpack(bucket.pack())
+        assert decoded.find_inline(b"aaa") == 0
+        assert list(decoded.pointer_slots()) == [(5, 1234, 56)]
+
+    def test_overflow_rejected(self):
+        bucket = Bucket()
+        with pytest.raises(KVDirectError):
+            bucket.write_inline(9, b"long-key", b"long-value")
+
+    def test_read_non_start_rejected(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"abcd", b"efgh")
+        with pytest.raises(KVDirectError):
+            bucket.read_inline(1)
+
+    def test_full_bucket_inline(self):
+        bucket = Bucket()
+        key, value = b"k" * 8, b"v" * 40  # 48 B + 2 header = 50 B = 10 slots
+        bucket.write_inline(0, key, value)
+        assert bucket.read_inline(0) == (key, value)
+        assert bucket.free_slots() == 0
+
+
+class TestFreeRuns:
+    def test_empty_bucket(self):
+        assert Bucket().find_free_run(10) == 0
+        assert Bucket().find_free_run(1) == 0
+
+    def test_after_occupancy(self):
+        bucket = Bucket()
+        bucket.set_pointer(0, 1, 1, 0)
+        bucket.write_inline(4, b"ab", b"cd")  # slots 4-5
+        assert bucket.find_free_run(3) == 1
+        assert bucket.find_free_run(4) == 6
+        assert bucket.find_free_run(5) is None
+
+    def test_zero_length(self):
+        assert Bucket().find_free_run(0) is None
+        assert Bucket().find_free_run(11) is None
+
+    def test_is_free(self):
+        bucket = Bucket()
+        bucket.set_pointer(2, 5, 5, 0)
+        assert not bucket.is_free(2)
+        assert bucket.is_free(3)
+        bucket.clear_slot(2)
+        assert bucket.is_free(2)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(1, 1 << 30)),
+            max_size=10,
+        )
+    )
+    def test_free_count_consistency(self, placements):
+        bucket = Bucket()
+        for slot, pointer in placements:
+            if bucket.is_free(slot):
+                bucket.set_pointer(slot, pointer, 0, 0)
+        occupied = len(list(bucket.pointer_slots()))
+        assert bucket.free_slots() == SLOTS_PER_BUCKET - occupied
+
+
+class TestWireLayoutStability:
+    """The 64 B bucket byte layout is a stable on-'disk' format: these
+    tests pin the exact byte positions so refactors cannot silently
+    change the memory image."""
+
+    def test_slot_bytes_little_endian(self):
+        bucket = Bucket()
+        bucket.set_slot_word(0, 0x0102030405)
+        packed = bucket.pack()
+        assert packed[0:5] == bytes([0x05, 0x04, 0x03, 0x02, 0x01])
+
+    def test_slot_positions(self):
+        bucket = Bucket()
+        bucket.set_slot_word(9, 0xFF)
+        packed = bucket.pack()
+        assert packed[45] == 0xFF  # slot 9 starts at byte 45
+        assert packed[46:50] == b"\x00\x00\x00\x00"
+
+    def test_slab_types_at_byte_50(self):
+        bucket = Bucket()
+        bucket.slab_types[0] = 0b101
+        bucket.slab_types[1] = 0b011
+        packed = bucket.pack()
+        # 3-bit fields LSB-first within a u32 at byte 50.
+        assert packed[50] == 0b101 | (0b011 << 3)
+
+    def test_inline_bitmaps_at_bytes_54_56(self):
+        bucket = Bucket()
+        bucket.write_inline(2, b"ab", b"c")  # one slot at index 2
+        packed = bucket.pack()
+        assert packed[54] == 1 << 2  # used bitmap
+        assert packed[56] == 1 << 2  # start bitmap
+
+    def test_chain_pointer_at_byte_58(self):
+        bucket = Bucket()
+        bucket.chain_ptr = 0x0A0B0C0D
+        packed = bucket.pack()
+        assert packed[58:62] == bytes([0x0D, 0x0C, 0x0B, 0x0A])
+
+    def test_reserved_tail_zero(self):
+        bucket = Bucket()
+        bucket.write_inline(0, b"k", b"v")
+        bucket.chain_ptr = 123
+        assert bucket.pack()[62:64] == b"\x00\x00"

@@ -1,0 +1,328 @@
+"""Unit + property tests for the KV-Direct hash table."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashtable import HashTable
+from repro.core.slab import SlabAllocator
+from repro.core.slab_host import HostSlabManager
+from repro.dram.host import MemoryImage
+from repro.errors import ConfigurationError, KeyTooLargeError
+
+
+def make_table(
+    memory_size=1 << 20,
+    index_ratio=0.5,
+    inline_threshold=20,
+):
+    """Build a table + allocator over a fresh memory image."""
+    memory = MemoryImage(memory_size)
+    index_bytes = int(memory_size * index_ratio) // 64 * 64
+    num_buckets = index_bytes // 64
+    host = HostSlabManager(base=index_bytes, size=memory_size - index_bytes)
+    allocator = SlabAllocator(host)
+    table = HashTable(
+        memory, allocator, num_buckets, inline_threshold=inline_threshold
+    )
+    return table
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        table = make_table()
+        table.put(b"key", b"value")
+        assert table.get(b"key") == b"value"
+
+    def test_get_missing(self):
+        table = make_table()
+        assert table.get(b"nope") is None
+
+    def test_put_overwrites(self):
+        table = make_table()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.get(b"k") == b"v2"
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = make_table()
+        table.put(b"k", b"v")
+        assert table.delete(b"k")
+        assert table.get(b"k") is None
+        assert len(table) == 0
+
+    def test_delete_missing(self):
+        table = make_table()
+        assert not table.delete(b"ghost")
+
+    def test_contains(self):
+        table = make_table()
+        table.put(b"k", b"v")
+        assert b"k" in table
+        assert b"other" not in table
+
+    def test_empty_value(self):
+        table = make_table()
+        table.put(b"k", b"")
+        assert table.get(b"k") == b""
+
+    def test_many_keys(self):
+        table = make_table()
+        for i in range(2000):
+            table.put(b"key%05d" % i, b"val%05d" % i)
+        assert len(table) == 2000
+        for i in range(0, 2000, 97):
+            assert table.get(b"key%05d" % i) == b"val%05d" % i
+
+
+class TestInlineVsNonInline:
+    def test_small_kv_is_inline(self):
+        """KV at or below the threshold never touches the slab allocator."""
+        table = make_table(inline_threshold=20)
+        table.put(b"key", b"0123456789")  # 13 B total
+        assert table.allocator.counters["allocs"] == 0
+        assert table.get(b"key") == b"0123456789"
+
+    def test_large_kv_uses_slab(self):
+        table = make_table(inline_threshold=20)
+        table.put(b"key", b"x" * 100)
+        assert table.allocator.counters["allocs"] == 1
+        assert table.get(b"key") == b"x" * 100
+
+    def test_threshold_boundary(self):
+        table = make_table(inline_threshold=10)
+        table.put(b"12345", b"67890")  # exactly 10 -> inline
+        assert table.allocator.counters["allocs"] == 0
+        table.put(b"123456", b"67890")  # 11 -> slab
+        assert table.allocator.counters["allocs"] == 1
+
+    def test_zero_threshold_disables_inlining(self):
+        table = make_table(inline_threshold=0)
+        table.put(b"a", b"")
+        assert table.allocator.counters["allocs"] == 1
+
+    def test_inline_to_slab_transition(self):
+        """Growing a value past the threshold migrates it out of the index."""
+        table = make_table(inline_threshold=20)
+        table.put(b"k", b"small")
+        table.put(b"k", b"L" * 200)
+        assert table.get(b"k") == b"L" * 200
+        assert len(table) == 1
+
+    def test_slab_to_inline_stays_correct(self):
+        table = make_table(inline_threshold=20)
+        table.put(b"k", b"L" * 200)
+        table.put(b"k", b"small")
+        assert table.get(b"k") == b"small"
+
+    def test_slab_freed_on_delete(self):
+        table = make_table()
+        table.put(b"k", b"x" * 100)
+        table.delete(b"k")
+        assert table.allocator.counters["frees"] == 1
+
+    def test_same_class_overwrite_reuses_slab(self):
+        table = make_table()
+        table.put(b"k", b"a" * 100)
+        table.put(b"k", b"b" * 101)  # same 128 B class
+        assert table.allocator.counters["allocs"] == 1
+        assert table.get(b"k") == b"b" * 101
+
+    def test_class_change_reallocates(self):
+        table = make_table()
+        table.put(b"k", b"a" * 100)  # 128 B class
+        table.put(b"k", b"b" * 400)  # 512 B class
+        assert table.allocator.counters["allocs"] == 2
+        assert table.allocator.counters["frees"] == 1
+
+
+class TestMemoryAccessCounts:
+    """The paper's headline property: ~1 DMA per GET, ~2 per PUT."""
+
+    def test_inline_get_is_one_access(self):
+        table = make_table()
+        table.put(b"key", b"tiny")
+        table.memory.reset_counters()
+        table.get(b"key")
+        assert table.memory.accesses == 1
+
+    def test_inline_put_is_two_accesses(self):
+        table = make_table()
+        table.memory.reset_counters()
+        table.put(b"key", b"tiny")
+        assert table.memory.accesses == 2  # bucket read + bucket write
+
+    def test_noninline_get_is_two_accesses(self):
+        table = make_table()
+        table.put(b"key", b"x" * 100)
+        table.memory.reset_counters()
+        table.get(b"key")
+        assert table.memory.accesses == 2  # bucket + record
+
+    def test_noninline_put_is_three_accesses(self):
+        table = make_table()
+        table.memory.reset_counters()
+        table.put(b"key", b"x" * 100)
+        assert table.memory.accesses == 3  # bucket read + record + bucket write
+
+    def test_average_get_near_one_at_moderate_utilization(self):
+        table = make_table(memory_size=1 << 20, inline_threshold=15)
+        i = 0
+        while table.utilization() < 0.25:
+            table.put(b"k%06d" % i, b"v" * 5)
+            i += 1
+        table.memory.reset_counters()
+        table.get_cost = type(table.get_cost)()
+        for j in range(0, i, 7):
+            table.get(b"k%06d" % j)
+        assert table.get_cost.mean < 1.5
+
+    def test_cost_stats_populated(self):
+        table = make_table()
+        table.put(b"a", b"1")
+        table.get(b"a")
+        table.delete(b"a")
+        assert table.put_cost.count == 1
+        assert table.get_cost.count == 1
+        assert table.delete_cost.count == 1
+
+
+class TestChaining:
+    def test_bucket_overflow_chains(self):
+        """More colliding KVs than one bucket holds must still be found."""
+        table = make_table(memory_size=1 << 16, index_ratio=0.01)
+        assert table.num_buckets == 10  # 100 slots for 300 KVs: must chain
+        keys = [b"key%04d" % i for i in range(300)]
+        for key in keys:
+            table.put(key, b"v" * 30)  # 3 slots inline each
+        assert table.counters["chained_buckets"] > 0
+        for key in keys:
+            assert table.get(key) == b"v" * 30
+
+    def test_delete_from_chained_bucket(self):
+        table = make_table(memory_size=1 << 16, index_ratio=0.01)
+        keys = [b"key%04d" % i for i in range(200)]
+        for key in keys:
+            table.put(key, b"v" * 30)
+        for key in keys[::2]:
+            assert table.delete(key)
+        for key in keys[1::2]:
+            assert table.get(key) == b"v" * 30
+        for key in keys[::2]:
+            assert table.get(key) is None
+
+    def test_single_bucket_table(self):
+        table = make_table(memory_size=1 << 16, index_ratio=64 / (1 << 16))
+        assert table.num_buckets == 1
+        for i in range(50):
+            table.put(b"k%03d" % i, b"v")
+        assert len(table) == 50
+        assert all(table.get(b"k%03d" % i) == b"v" for i in range(50))
+
+
+class TestValidation:
+    def test_oversize_key(self):
+        table = make_table()
+        with pytest.raises(KeyTooLargeError):
+            table.put(b"k" * 256, b"v")
+
+    def test_oversize_record(self):
+        table = make_table()
+        with pytest.raises(KeyTooLargeError):
+            table.put(b"key", b"v" * 510)
+
+    def test_empty_key(self):
+        table = make_table()
+        with pytest.raises(KeyTooLargeError):
+            table.get(b"")
+
+    def test_non_bytes(self):
+        table = make_table()
+        with pytest.raises(TypeError):
+            table.put("str", b"v")
+        with pytest.raises(TypeError):
+            table.put(b"k", 42)
+
+    def test_bad_config(self):
+        memory = MemoryImage(1 << 16)
+        host = HostSlabManager(base=1024, size=(1 << 16) - 1024)
+        allocator = SlabAllocator(host)
+        with pytest.raises(ConfigurationError):
+            HashTable(memory, allocator, num_buckets=0)
+        with pytest.raises(ConfigurationError):
+            HashTable(memory, allocator, 16, inline_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            HashTable(memory, allocator, 16, inline_threshold=100)
+        with pytest.raises(ConfigurationError):
+            HashTable(memory, allocator, 16, base=30)
+
+
+class TestAccounting:
+    def test_stored_bytes_tracks_kv_sizes(self):
+        table = make_table()
+        table.put(b"abc", b"de")
+        assert table.stored_bytes == 5
+        table.put(b"abc", b"defg")
+        assert table.stored_bytes == 7
+        table.delete(b"abc")
+        assert table.stored_bytes == 0
+
+    def test_utilization(self):
+        table = make_table(memory_size=1 << 20)
+        assert table.utilization() == 0.0
+        table.put(b"0123456789", b"0123456789")
+        assert table.utilization() == pytest.approx(20 / (1 << 20))
+
+    def test_items_scan(self):
+        table = make_table()
+        expected = {}
+        for i in range(100):
+            key = b"k%03d" % i
+            value = (b"v" * (i % 40)) or b"x"
+            table.put(key, value)
+            expected[key] = value
+        assert dict(table.items()) == expected
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "delete"]),
+                st.binary(min_size=1, max_size=24),
+                st.binary(min_size=0, max_size=120),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_matches_dict_semantics(self, commands):
+        """The hash table behaves exactly like a Python dict."""
+        table = make_table(memory_size=1 << 18)
+        model = {}
+        for action, key, value in commands:
+            if action == "put":
+                table.put(key, value)
+                model[key] = value
+            elif action == "get":
+                assert table.get(key) == model.get(key)
+            else:
+                assert table.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.get(key) == value
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_stored_bytes_invariant(self, data):
+        table = make_table(memory_size=1 << 18)
+        model = {}
+        for __ in range(50):
+            key = data.draw(st.binary(min_size=1, max_size=16))
+            value = data.draw(st.binary(min_size=0, max_size=64))
+            table.put(key, value)
+            model[key] = value
+        expected = sum(len(k) + len(v) for k, v in model.items())
+        assert table.stored_bytes == expected

@@ -1,0 +1,171 @@
+"""Randomized stress tests for the reservation station.
+
+A driver admits and completes operations in arbitrary (but valid)
+interleavings and checks global invariants: occupancy conservation, FIFO
+per-key ordering of results, and exact agreement with a serial oracle.
+"""
+
+import random
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ooo import Admission, ReservationStation
+from repro.core.operations import KVOperation, OpType
+from repro.core.vector import FETCH_ADD, FunctionRegistry, apply_operation
+
+
+def q(*values):
+    return struct.pack("<%dq" % len(values), *values)
+
+
+class StationDriver:
+    """Executes a station against an in-memory 'main pipeline'."""
+
+    def __init__(self, forwarding=True, num_slots=8, capacity=64):
+        self.registry = FunctionRegistry()
+        self.station = ReservationStation(
+            lambda op, cur: apply_operation(op, cur, self.registry),
+            num_slots=num_slots,
+            capacity=capacity,
+            forwarding=forwarding,
+        )
+        self.memory = {}  # the "host memory": key -> value
+        self.pipeline = []  # ops currently in the main pipeline
+        self.responses = {}  # seq -> KVResult
+
+    def submit(self, op):
+        if self.station.admit(op) is Admission.EXECUTE:
+            self.pipeline.append(op)
+
+    def step(self, rng):
+        """Complete one randomly chosen in-flight pipeline op."""
+        if not self.pipeline:
+            return False
+        op = self.pipeline.pop(rng.randrange(len(self.pipeline)))
+        new_value, result = apply_operation(
+            op, self.memory.get(op.key), self.registry
+        )
+        if new_value is None:
+            self.memory.pop(op.key, None)
+        else:
+            self.memory[op.key] = new_value
+        if op.seq >= 0:
+            self.responses[op.seq] = result
+        completion = self.station.complete(op, new_value)
+        for fwd_op, fwd_result in completion.responses:
+            self.responses[fwd_op.seq] = fwd_result
+        if completion.writeback is not None:
+            self.pipeline.append(completion.writeback)
+        if completion.next_issue is not None:
+            self.pipeline.append(completion.next_issue)
+        return True
+
+    def drain(self, rng):
+        while self.step(rng):
+            pass
+
+
+def serial_oracle(ops):
+    registry = FunctionRegistry()
+    state, results = {}, {}
+    for op in ops:
+        new_value, result = apply_operation(op, state.get(op.key), registry)
+        if new_value is None:
+            state.pop(op.key, None)
+        else:
+            state[op.key] = new_value
+        results[op.seq] = result
+    return state, results
+
+
+def make_ops(spec):
+    ops = []
+    for seq, (kind, key_index, operand) in enumerate(spec):
+        key = b"k%d" % key_index
+        if kind == 0:
+            ops.append(KVOperation.get(key, seq=seq))
+        elif kind == 1:
+            ops.append(KVOperation.put(key, q(operand), seq=seq))
+        elif kind == 2:
+            ops.append(KVOperation.delete(key, seq=seq))
+        else:
+            ops.append(KVOperation.update(key, FETCH_ADD, q(operand), seq=seq))
+    return ops
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-9, 9)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(0, 2**16),
+    st.booleans(),
+)
+@settings(
+    max_examples=80,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+def test_random_interleavings_match_serial_oracle(spec, seed, forwarding):
+    """Under ANY completion order the station linearizes per key."""
+    rng = random.Random(seed)
+    driver = StationDriver(forwarding=forwarding, capacity=len(spec) + 1)
+    ops = make_ops(spec)
+    for op in ops:
+        driver.submit(op)
+        if rng.random() < 0.4:
+            driver.step(rng)
+    driver.drain(rng)
+
+    expected_state, expected_results = serial_oracle(ops)
+    assert driver.memory == expected_state
+    assert set(driver.responses) == set(expected_results)
+    for seq, want in expected_results.items():
+        got = driver.responses[seq]
+        assert got.ok == want.ok, f"seq {seq}"
+        assert got.value == want.value, f"seq {seq}"
+    assert driver.station.inflight == 0
+    assert driver.station.busy_slots() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-9, 9)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(0, 2**16),
+)
+@settings(
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+def test_tiny_station_still_correct(spec, seed):
+    """One hash slot (every key collides) must still be correct."""
+    rng = random.Random(seed)
+    driver = StationDriver(num_slots=1, capacity=len(spec) + 1)
+    ops = make_ops(spec)
+    for op in ops:
+        driver.submit(op)
+    driver.drain(rng)
+    expected_state, __ = serial_oracle(ops)
+    assert driver.memory == expected_state
+
+
+def test_forwarding_actually_forwards():
+    """Sanity: the stress driver exercises the forwarding path."""
+    driver = StationDriver()
+    ops = [KVOperation.put(b"k0", q(0), seq=0)] + [
+        KVOperation.update(b"k0", FETCH_ADD, q(1), seq=i)
+        for i in range(1, 21)
+    ]
+    for op in ops:
+        driver.submit(op)
+    driver.drain(random.Random(0))
+    assert driver.station.counters["forwarded"] > 0
+    assert driver.memory[b"k0"] == q(20)

@@ -1,0 +1,174 @@
+"""The paper-claims registry: every number quoted from the paper text,
+pinned to the constants module that parameterizes the simulation.
+
+If a constant drifts, the figure benchmarks may still pass on relative
+assertions - this file is what fails loudly.
+"""
+
+import pytest
+
+from repro import constants
+from repro.pcie.tlp import effective_bandwidth, effective_op_rate
+
+
+class TestSection23ProgrammableNIC:
+    def test_clock(self):
+        """'With 180 MHz clock frequency, our design can process KV
+        operations at 180 M op/s' (section 4)."""
+        assert constants.KV_CLOCK_HZ == 180e6
+
+    def test_nic_dram(self):
+        """'4 GiB size and 12.8 GB/s throughput' (section 3.3.4)."""
+        assert constants.NIC_DRAM_SIZE == 4 * 1024**3
+        assert constants.NIC_DRAM_BANDWIDTH == 12.8e9
+
+
+class TestSection24PCIe:
+    def test_link_parameters(self):
+        """'PCIe is a packet switched network with 500 ns round-trip
+        latency and 7.87 GB/s theoretical bandwidth per Gen3 x8'."""
+        assert constants.PCIE_FABRIC_RTT_NS == 500
+        assert constants.PCIE_GEN3_X8_BANDWIDTH == 7.87e9
+
+    def test_latency_components(self):
+        """'cached PCIe DMA read latency is 800 ns ... additional 250 ns
+        average latency' for random reads."""
+        assert constants.PCIE_DMA_READ_CACHED_NS == 800
+        assert (
+            constants.PCIE_DMA_READ_RANDOM_SPREAD_NS / 2
+            == constants.PCIE_DMA_READ_RANDOM_EXTRA_NS
+        )
+
+    def test_tlp_overhead_and_derived_throughput(self):
+        """'26-byte header and padding ... theoretical throughput is
+        therefore 5.6 GB/s, or 87 Mops'."""
+        assert constants.PCIE_TLP_OVERHEAD == 26
+        assert effective_bandwidth(
+            constants.PCIE_GEN3_X8_BANDWIDTH, 64
+        ) == pytest.approx(5.6e9, rel=0.01)
+        assert effective_op_rate(
+            constants.PCIE_GEN3_X8_BANDWIDTH, 64
+        ) == pytest.approx(87e6, rel=0.01)
+
+    def test_saturation_concurrency(self):
+        """'92 concurrent DMA requests are needed considering our latency
+        of 1050 ns' - reproduced: ceil(rate x latency)."""
+        import math
+
+        latency_s = (
+            constants.PCIE_DMA_READ_CACHED_NS
+            + constants.PCIE_DMA_READ_RANDOM_EXTRA_NS
+        ) / 1e9
+        rate = effective_op_rate(constants.PCIE_GEN3_X8_BANDWIDTH, 64)
+        assert math.ceil(rate * latency_s) == pytest.approx(
+            constants.PCIE_CONCURRENCY_FOR_SATURATION, abs=1
+        )
+
+    def test_flow_control_credits(self):
+        """'88 TLP posted header credits ... 84 TLP non-posted'."""
+        assert constants.PCIE_POSTED_CREDITS == 88
+        assert constants.PCIE_NONPOSTED_CREDITS == 84
+
+    def test_tag_limit(self):
+        """'only support 64 PCIe tags, further limiting our DMA read
+        concurrency'."""
+        assert constants.PCIE_DMA_TAGS == 64
+
+    def test_network_ceiling(self):
+        """'with 40 Gbps network and 64-byte KV pairs, the throughput
+        ceiling is 78 Mops with client-side batching'."""
+        per_op = 64  # batched: payload only
+        ceiling = constants.NETWORK_BANDWIDTH / per_op
+        assert ceiling == pytest.approx(78e6, rel=0.01)
+
+
+class TestSection33Structures:
+    def test_bucket_geometry(self):
+        """'Each line is a hash bucket containing 10 hash slots, 3 bits of
+        slab memory type per hash slot' ... 'bucket size to be 64 bytes'."""
+        assert constants.BUCKET_SIZE == 64
+        assert constants.SLOTS_PER_BUCKET == 10
+        assert constants.SLAB_TYPE_BITS == 3
+
+    def test_slot_arithmetic(self):
+        """'the pointer requires 31 bits.  A secondary hash of 9 bits
+        gives a 1/512 false positive probability.  Cumulatively, the hash
+        slot size is 5 bytes.'"""
+        assert constants.POINTER_BITS == 31
+        assert constants.SECONDARY_HASH_BITS == 9
+        assert (31 + 9) // 8 == constants.SLOT_SIZE
+        assert 2**constants.SECONDARY_HASH_BITS == 512
+        # 31 bits at 32 B granularity address the full 64 GiB storage.
+        assert (
+            2**constants.POINTER_BITS * constants.SLAB_MIN_SIZE
+            == constants.HOST_KVS_SIZE
+        )
+
+    def test_slab_sizes(self):
+        """'a free slab pool for each possible slab size (32, 64, ...,
+        512 bytes)'."""
+        assert constants.SLAB_SIZES == (32, 64, 128, 256, 512)
+
+    def test_reservation_station(self):
+        """'up to 256 in-flight KV operations are needed ... 1024 hash
+        slots to make hash collision probability below 25 %'."""
+        assert constants.MAX_INFLIGHT_OPS == 256
+        assert constants.RESERVATION_STATION_SLOTS == 1024
+        collision_probability = (
+            constants.MAX_INFLIGHT_OPS / constants.RESERVATION_STATION_SLOTS
+        )
+        assert collision_probability <= 0.25
+
+
+class TestSection4Network:
+    def test_rdma_overhead(self):
+        """'An RDMA write packet over Ethernet has 88 bytes of header and
+        padding overhead, while a PCIe TLP packet has only 26 bytes.'"""
+        assert constants.RDMA_PACKET_OVERHEAD == 88
+        assert constants.RDMA_PACKET_OVERHEAD > 3 * constants.PCIE_TLP_OVERHEAD
+
+    def test_network_latency(self):
+        """'lower bandwidth (5 GB/s) and higher latency (2 us)'."""
+        assert constants.NETWORK_BANDWIDTH == 5e9
+        assert constants.NETWORK_RTT_NS == 2000
+
+
+class TestSection5Evaluation:
+    def test_zipf_skew(self):
+        """'we choose skewness 0.99 and refer it as long-tail workload'."""
+        assert constants.ZIPF_SKEW == 0.99
+
+    def test_memory_sizes(self):
+        """'a 64 GiB KV storage in host memory' / '128 GiB of host
+        memory'."""
+        assert constants.HOST_KVS_SIZE == 64 * 1024**3
+        assert constants.HOST_TOTAL_MEMORY == 128 * 1024**3
+
+    def test_cpu_measurements(self):
+        """Section 2.2's measured CPU numbers."""
+        assert constants.HOST_RANDOM_READ_NS == 110
+        assert constants.CPU_CORE_RANDOM_ACCESS_OPS == 29.3e6
+        assert constants.CPU_CORE_KV_OPS == 5.5e6
+        assert constants.CPU_CORE_KV_OPS_BATCHED == 7.9e6
+
+    def test_rdma_measurements(self):
+        """'high message rate (8-150 Mops)' / '2.24 Mops measured from an
+        RDMA NIC' / '0.94 Mops' without OoO."""
+        assert constants.RDMA_NIC_MESSAGE_RATE == (8e6, 15e6)
+        assert constants.RDMA_ATOMICS_OPS == 2.24e6
+        assert constants.KVDIRECT_ATOMICS_NO_OOO_OPS == 0.94e6
+
+    def test_power(self):
+        """'the system power is 121.1 watts' / 'an idle server consumes
+        87.0 watts' / 'only 34 watts' incremental."""
+        assert constants.SERVER_PEAK_POWER_W == pytest.approx(121.1)
+        assert constants.SERVER_IDLE_POWER_W == 87.0
+        assert constants.KVDIRECT_INCREMENTAL_POWER_W == 34.0
+        assert (
+            constants.SERVER_PEAK_POWER_W
+            == pytest.approx(
+                constants.SERVER_IDLE_POWER_W
+                + constants.KVDIRECT_INCREMENTAL_POWER_W,
+                abs=0.2,
+            )
+        )

@@ -1,0 +1,216 @@
+"""Unit tests for counters, histograms, and running statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, Histogram, RunningStats
+from repro.sim.stats import gbps, mops, percentile
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("reads")
+        counter.add("reads", 4)
+        assert counter.get("reads") == 5
+        assert counter["reads"] == 5
+
+    def test_missing_is_zero(self):
+        counter = Counter()
+        assert counter.get("nothing") == 0
+        assert "nothing" not in counter
+
+    def test_reset(self):
+        counter = Counter()
+        counter.add("x", 10)
+        counter.reset()
+        assert counter.get("x") == 0
+
+    def test_snapshot_is_copy(self):
+        counter = Counter()
+        counter.add("x")
+        snap = counter.snapshot()
+        counter.add("x")
+        assert snap == {"x": 1}
+        assert counter.get("x") == 2
+
+
+class TestRunningStats:
+    def test_mean_min_max(self):
+        stats = RunningStats()
+        for v in (2.0, 4.0, 6.0):
+            stats.record(v)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.count == 3
+
+    def test_variance(self):
+        stats = RunningStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        assert stats.variance == pytest.approx(1.25)
+        assert stats.stddev == pytest.approx(math.sqrt(1.25))
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_merge_matches_combined(self):
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        for i in range(10):
+            a.record(float(i))
+            combined.record(float(i))
+        for i in range(10, 30):
+            b.record(float(i) * 1.5)
+            combined.record(float(i) * 1.5)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.minimum == combined.minimum
+        assert a.maximum == combined.maximum
+
+    def test_merge_empty_sides(self):
+        a, b = RunningStats(), RunningStats()
+        a.record(5.0)
+        a.merge(b)  # merging empty changes nothing
+        assert a.count == 1
+        b.merge(a)  # merging into empty copies
+        assert b.count == 1
+        assert b.mean == 5.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_mean_matches_naive(self, values):
+        stats = RunningStats()
+        for v in values:
+            stats.record(v)
+        assert stats.mean == pytest.approx(sum(values) / len(values), abs=1e-6)
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        hist = Histogram()
+        hist.extend(range(1, 101))  # 1..100
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 100
+        assert hist.median() == pytest.approx(50.5)
+        assert hist.percentile(95) == pytest.approx(95.05)
+
+    def test_single_sample(self):
+        hist = Histogram()
+        hist.record(7.0)
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(50) == 7.0
+        assert hist.percentile(100) == 7.0
+
+    def test_empty_errors(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+        with pytest.raises(ValueError):
+            hist.mean()
+
+    def test_out_of_range_pct(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_record_after_percentile(self):
+        hist = Histogram()
+        hist.extend([3.0, 1.0])
+        assert hist.min() == 1.0
+        hist.record(0.5)
+        assert hist.min() == 0.5
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        hist.extend(float(i) for i in range(200))
+        summary = hist.summary()
+        assert set(summary) == {
+            "count", "mean", "min", "p5", "p50", "p95", "p99", "max",
+        }
+        assert summary["count"] == 200.0
+
+    def test_cdf_monotone(self):
+        hist = Histogram()
+        hist.extend([5.0, 1.0, 3.0, 2.0, 4.0] * 10)
+        points = hist.cdf(points=20)
+        values = [v for v, __ in points]
+        fractions = [f for __, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.floats(0, 1e9, allow_subnormal=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_percentile_bounds(self, values):
+        hist = Histogram()
+        hist.extend(values)
+        p50 = hist.percentile(50)
+        assert min(values) <= p50 <= max(values)
+
+    @given(
+        st.lists(
+            st.floats(0, 1e6, allow_subnormal=False),
+            min_size=2,
+            max_size=100,
+        ),
+        st.floats(0, 100),
+    )
+    def test_percentile_monotone_in_pct(self, values, pct):
+        hist = Histogram()
+        hist.extend(values)
+        assert hist.percentile(pct) <= hist.percentile(100)
+        assert hist.percentile(0) <= hist.percentile(pct)
+
+
+class TestRates:
+    def test_mops(self):
+        # 1000 ops in 1000 ns = 1 Gops = 1000 Mops
+        assert mops(1000, 1000.0) == pytest.approx(1000.0)
+        # 180 ops in 1000 ns = 180 Mops
+        assert mops(180, 1000.0) == pytest.approx(180.0)
+
+    def test_mops_zero_time(self):
+        assert mops(100, 0.0) == 0.0
+
+    def test_gbps(self):
+        # 64 bytes in 8 ns = 8 GB/s
+        assert gbps(64, 8.0) == pytest.approx(8.0)
+
+    def test_percentile_helper(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+class TestHistogramCdf:
+    def test_cdf_spans_samples(self):
+        hist = Histogram()
+        hist.extend(float(i) for i in range(1, 101))
+        points = hist.cdf(points=10)
+        assert len(points) == 10
+        values = [v for v, __ in points]
+        assert values[0] <= 15.0
+        assert values[-1] == 100.0
+
+    def test_cdf_empty(self):
+        assert Histogram().cdf() == []
+
+    def test_summary_consistent_with_percentiles(self):
+        hist = Histogram()
+        hist.extend(float(i) for i in range(1000))
+        summary = hist.summary()
+        assert summary["p50"] == hist.percentile(50)
+        assert summary["min"] <= summary["p5"] <= summary["p95"] <= summary["max"]

@@ -1,0 +1,247 @@
+"""Unit tests for the public KVDirectStore API."""
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KVDirectConfig, KVDirectStore
+from repro.core.operations import KVOperation, OpType
+from repro.core.vector import (
+    COMPARE_AND_SWAP,
+    FETCH_ADD,
+    FILTER_NONZERO,
+    FuncKind,
+    REDUCE_SUM,
+)
+from repro.errors import ConfigurationError, KVDirectError
+
+
+def q(*values):
+    return struct.pack("<%dq" % len(values), *values)
+
+
+@pytest.fixture
+def store():
+    return KVDirectStore.create(memory_size=4 << 20)
+
+
+class TestLifecycle:
+    def test_create_defaults(self):
+        store = KVDirectStore.create()
+        assert store.config.memory_size == 64 << 20
+        assert len(store) == 0
+
+    def test_create_with_overrides(self):
+        store = KVDirectStore.create(
+            memory_size=1 << 20, hash_index_ratio=0.25, inline_threshold=10
+        )
+        assert store.config.hash_index_ratio == 0.25
+        assert store.table.inline_threshold == 10
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            KVDirectConfig(memory_size=100)
+        with pytest.raises(ConfigurationError):
+            KVDirectConfig(hash_index_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            KVDirectConfig(load_dispatch_ratio=2.0)
+
+    def test_paper_scale_geometry(self):
+        config = KVDirectConfig.paper_scale()
+        assert config.memory_size == 64 * 1024**3
+        assert config.effective_nic_dram == 4 * 1024**3
+        # 64 GiB at ratio 0.5 -> 0.5 GiBuckets
+        assert config.num_buckets == 64 * 1024**3 // 2 // 64
+
+    def test_config_with_overrides(self):
+        config = KVDirectConfig().with_overrides(inline_threshold=10)
+        assert config.inline_threshold == 10
+        assert config.memory_size == KVDirectConfig().memory_size
+
+
+class TestCrud(object):
+    def test_put_get_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert b"k" in store
+        assert store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_len(self, store):
+        for i in range(10):
+            store.put(b"k%d" % i, b"v")
+        assert len(store) == 10
+
+    def test_items(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert dict(store.items()) == {b"a": b"1", b"b": b"2"}
+
+
+class TestAtomics:
+    def test_fetch_add_sequencer(self, store):
+        """Section 3.2: sequencers are single-key atomics."""
+        store.put(b"seq", q(0))
+        tickets = [store.update(b"seq", FETCH_ADD, q(1)) for __ in range(10)]
+        assert [struct.unpack("<q", t)[0] for t in tickets] == list(range(10))
+        assert store.get(b"seq") == q(10)
+
+    def test_cas(self, store):
+        store.put(b"lock", q(0))
+        old = store.update(b"lock", COMPARE_AND_SWAP, q(0, 1))
+        assert old == q(0)
+        old = store.update(b"lock", COMPARE_AND_SWAP, q(0, 2))
+        assert old == q(1)  # CAS failed, value unchanged
+        assert store.get(b"lock") == q(1)
+
+    def test_update_missing_key(self, store):
+        assert store.update(b"ghost", FETCH_ADD, q(1)) is None
+
+
+class TestVectorOps:
+    def test_update_vector(self, store):
+        store.put(b"vec", q(1, 2, 3))
+        old = store.update_vector(b"vec", FETCH_ADD, q(10))
+        assert old == q(1, 2, 3)
+        assert store.get(b"vec") == q(11, 12, 13)
+
+    def test_update_vector2vector(self, store):
+        store.put(b"vec", q(1, 2, 3))
+        old = store.update_vector2vector(b"vec", FETCH_ADD, q(1, 2, 3))
+        assert old == q(1, 2, 3)
+        assert store.get(b"vec") == q(2, 4, 6)
+
+    def test_reduce(self, store):
+        store.put(b"vec", q(1, 2, 3, 4))
+        assert store.reduce(b"vec", REDUCE_SUM, q(0)) == q(10)
+        # Reduce must not modify the stored vector.
+        assert store.get(b"vec") == q(1, 2, 3, 4)
+
+    def test_filter(self, store):
+        store.put(b"vec", q(0, 5, 0, 7))
+        assert store.filter(b"vec", FILTER_NONZERO) == q(5, 7)
+        assert store.get(b"vec") == q(0, 5, 0, 7)
+
+    def test_pagerank_neighbor_accumulation(self, store):
+        """Section 3.2: vector reduce supports PageRank weight accumulation."""
+        store.put(b"node7:weights", q(3, 1, 4, 1, 5))
+        total = store.reduce(b"node7:weights", REDUCE_SUM, q(0))
+        assert struct.unpack("<q", total)[0] == 14
+
+    def test_user_defined_function(self, store):
+        """Section 3.2: user-defined update functions (active messages)."""
+        clamp = store.register_function(
+            FuncKind.UPDATE, lambda v, d: min(v, d), name="clamp"
+        )
+        store.put(b"vec", q(5, 100, 7))
+        store.update_vector(b"vec", clamp, q(10))
+        assert store.get(b"vec") == q(5, 10, 7)
+
+
+class TestExecuteWireOps:
+    def test_execute_roundtrip(self, store):
+        put = KVOperation.put(b"k", b"v", seq=7)
+        result = store.execute(put)
+        assert result.ok and result.seq == 7
+        get = KVOperation.get(b"k", seq=8)
+        result = store.execute(get)
+        assert result.value == b"v" and result.seq == 8
+
+    def test_execute_missing_get(self, store):
+        result = store.execute(KVOperation.get(b"nope"))
+        assert not result.ok and not result.found
+
+    def test_execute_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.execute(KVOperation.delete(b"k")).ok
+        assert not store.execute(KVOperation.delete(b"k")).ok
+
+    def test_execute_function_op(self, store):
+        store.put(b"ctr", q(41))
+        result = store.execute(
+            KVOperation(OpType.UPDATE_SCALAR, b"ctr", func_id=FETCH_ADD,
+                        param=q(1))
+        )
+        assert result.value == q(41)
+        assert store.get(b"ctr") == q(42)
+
+
+class TestFillAndMeasure:
+    def test_fill_to_utilization(self, store):
+        count = store.fill_to_utilization(0.2, kv_size=32)
+        assert count > 0
+        assert store.utilization() >= 0.2
+
+    def test_fill_validates(self, store):
+        with pytest.raises(KVDirectError):
+            store.fill_to_utilization(1.5, kv_size=32)
+        with pytest.raises(KVDirectError):
+            store.fill_to_utilization(0.5, kv_size=4, key_size=8)
+
+    def test_dma_stats_shape(self, store):
+        store.put(b"k", b"v")
+        store.get(b"k")
+        stats = store.dma_stats()
+        assert stats["memory_accesses"] >= 3
+        assert stats["get_mean_accesses"] == 1.0
+        assert stats["put_mean_accesses"] == 2.0
+        assert stats["slab_amortized_dma_per_op"] == 0.0  # inline only
+
+    def test_reset_measurements_keeps_data(self, store):
+        store.put(b"k", b"v")
+        store.reset_measurements()
+        assert store.dma_stats()["memory_accesses"] == 0
+        assert store.get(b"k") == b"v"
+
+
+class TestForwardingConsistency:
+    """The OoO forwarding executor and the store must agree exactly."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["get", "put", "delete", "add"]),
+                st.integers(0, 3),
+                st.integers(-100, 100),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_forwarded_equals_direct(self, commands):
+        direct = KVDirectStore.create(memory_size=1 << 20)
+        executor = direct.forwarding_executor()
+        shadow = {}  # key -> value bytes, maintained via the executor
+        for action, key_index, operand in commands:
+            key = b"key%d" % key_index
+            if action == "get":
+                op = KVOperation.get(key)
+            elif action == "put":
+                op = KVOperation.put(key, q(operand))
+            elif action == "delete":
+                op = KVOperation.delete(key)
+            else:
+                op = KVOperation.update(key, FETCH_ADD, q(operand))
+            direct_result = direct.execute(op)
+            new_value, fwd_result = executor(op, shadow.get(key))
+            if new_value is None:
+                shadow.pop(key, None)
+            else:
+                shadow[key] = new_value
+            assert direct_result.ok == fwd_result.ok
+            assert direct_result.value == fwd_result.value
+        for key, value in shadow.items():
+            assert direct.get(key) == value
+
+
+class TestKeysIterator:
+    def test_keys(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert sorted(store.keys()) == [b"a", b"b"]
+
+    def test_keys_empty(self, store):
+        assert list(store.keys()) == []

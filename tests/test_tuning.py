@@ -1,0 +1,131 @@
+"""Unit tests for the parameter-tuning helpers (Figures 6/9/10)."""
+
+import pytest
+
+from repro.core.tuning import (
+    MeasuredPoint,
+    measure_access_count,
+    optimal_hash_index_ratio,
+    optimal_inline_threshold,
+    sweep_hash_index_ratio,
+    sweep_memory_utilization,
+)
+from repro.errors import CapacityError
+
+MEMORY = 1 << 20
+
+
+class TestMeasuredPoint:
+    def test_mean(self):
+        point = MeasuredPoint(0.5, 20, 0.3, get_accesses=1.0, put_accesses=2.0)
+        assert point.mean_accesses == 1.5
+
+
+class TestMeasureAccessCount:
+    def test_inline_point(self):
+        point = measure_access_count(
+            kv_size=13,
+            memory_utilization=0.15,
+            hash_index_ratio=0.5,
+            inline_threshold=20,
+            memory_size=MEMORY,
+            probe_ops=200,
+        )
+        assert point is not None
+        assert 1.0 <= point.get_accesses < 1.5
+        assert 2.0 <= point.put_accesses < 2.5
+
+    def test_noninline_point_pays_extra(self):
+        inline = measure_access_count(
+            13, 0.15, 0.5, 20, memory_size=MEMORY, probe_ops=200
+        )
+        offline = measure_access_count(
+            30, 0.15, 0.5, 20, memory_size=MEMORY, probe_ops=200
+        )
+        assert offline.get_accesses > inline.get_accesses + 0.5
+
+    def test_infeasible_returns_none(self):
+        assert (
+            measure_access_count(
+                13, 0.9, 0.9, 20, memory_size=MEMORY, probe_ops=50
+            )
+            is None
+        )
+
+    def test_metadata_echoed(self):
+        point = measure_access_count(
+            13, 0.1, 0.4, 15, memory_size=MEMORY, probe_ops=100
+        )
+        assert point.hash_index_ratio == 0.4
+        assert point.inline_threshold == 15
+        assert point.memory_utilization == 0.1
+
+
+class TestSweeps:
+    def test_ratio_sweep_skips_infeasible(self):
+        points = sweep_hash_index_ratio(
+            kv_size=30,
+            memory_utilization=0.3,
+            inline_threshold=20,
+            ratios=(0.2, 0.5, 0.8),
+            memory_size=MEMORY,
+        )
+        ratios = [p.hash_index_ratio for p in points]
+        assert 0.2 in ratios
+        assert 0.8 not in ratios  # 30 B KVs at 0.3 util need dynamic room
+
+    def test_utilization_sweep_monotone_feasible(self):
+        points = sweep_memory_utilization(
+            kv_size=13,
+            hash_index_ratio=0.5,
+            inline_threshold=20,
+            utilizations=(0.1, 0.2, 0.3),
+            memory_size=MEMORY,
+        )
+        assert len(points) >= 2
+        utils = [p.memory_utilization for p in points]
+        assert utils == sorted(utils)
+
+
+class TestOptimizers:
+    def test_optimal_ratio_prefers_upper_bound(self):
+        ratio, accesses = optimal_hash_index_ratio(
+            kv_size=30,
+            required_utilization=0.1,
+            inline_threshold=20,
+            ratios=(0.2, 0.4, 0.6),
+            memory_size=MEMORY,
+        )
+        assert ratio == 0.6  # all feasible & near-equal: pick the largest
+        assert accesses > 2.0
+
+    def test_optimal_ratio_respects_feasibility(self):
+        ratio, __ = optimal_hash_index_ratio(
+            kv_size=30,
+            required_utilization=0.3,
+            inline_threshold=20,
+            ratios=(0.2, 0.5, 0.8),
+            memory_size=MEMORY,
+        )
+        assert ratio <= 0.5
+
+    def test_optimal_ratio_impossible_raises(self):
+        with pytest.raises(CapacityError):
+            optimal_hash_index_ratio(
+                kv_size=13,
+                required_utilization=0.95,
+                inline_threshold=20,
+                ratios=(0.3, 0.6),
+                memory_size=MEMORY,
+            )
+
+    def test_optimal_inline_threshold(self):
+        threshold = optimal_inline_threshold(
+            kv_size=13,
+            memory_utilization=0.15,
+            hash_index_ratio=0.5,
+            thresholds=(0, 15, 25),
+            memory_size=MEMORY,
+        )
+        # Inlining a 13 B KV must beat not inlining it.
+        assert threshold >= 15

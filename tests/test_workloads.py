@@ -1,0 +1,177 @@
+"""Unit tests for workload generators."""
+
+import collections
+
+import pytest
+
+from repro.core.operations import OpType
+from repro.workloads import (
+    KeySpace,
+    UniformSampler,
+    WorkloadSpec,
+    YCSBGenerator,
+    ZipfSampler,
+)
+from repro.workloads.keyspace import inline_kv_sizes, noninline_kv_sizes
+from repro.workloads.ycsb import PAPER_PUT_RATIOS, paper_workloads
+
+
+class TestKeySpace:
+    def test_key_deterministic(self):
+        ks = KeySpace(count=100, kv_size=32)
+        assert ks.key(5) == ks.key(5)
+        assert ks.key(5) != ks.key(6)
+        assert len(ks.key(5)) == 8
+
+    def test_value_deterministic_and_sized(self):
+        ks = KeySpace(count=10, kv_size=32, seed=1)
+        assert ks.value(3) == ks.value(3)
+        assert len(ks.value(3)) == 24
+
+    def test_different_seeds_differ(self):
+        a = KeySpace(count=10, kv_size=32, seed=1)
+        b = KeySpace(count=10, kv_size=32, seed=2)
+        assert a.value(0) != b.value(0)
+
+    def test_pairs(self):
+        ks = KeySpace(count=5, kv_size=16)
+        pairs = list(ks.pairs())
+        assert len(pairs) == 5
+        assert all(len(k) + len(v) == 16 for k, v in pairs)
+
+    def test_bounds(self):
+        ks = KeySpace(count=5, kv_size=16)
+        with pytest.raises(IndexError):
+            ks.key(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeySpace(count=0, kv_size=16)
+        with pytest.raises(ValueError):
+            KeySpace(count=5, kv_size=8, key_size=8)
+        with pytest.raises(ValueError):
+            KeySpace(count=5, kv_size=300, key_size=2)
+
+    def test_paper_kv_size_points(self):
+        assert inline_kv_sizes()[:3] == [5, 10, 15]
+        assert noninline_kv_sizes() == [62, 126, 254]
+
+
+class TestUniformSampler:
+    def test_range(self):
+        sampler = UniformSampler(100, seed=1)
+        samples = sampler.sample_many(1000)
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_roughly_uniform(self):
+        sampler = UniformSampler(10, seed=2)
+        counts = collections.Counter(sampler.sample_many(10_000))
+        for key in range(10):
+            assert 800 < counts[key] < 1200
+
+    def test_deterministic(self):
+        a = UniformSampler(50, seed=3).sample_many(20)
+        b = UniformSampler(50, seed=3).sample_many(20)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(1000, seed=1)
+        assert all(0 <= s < 1000 for s in sampler.sample_many(1000))
+
+    def test_skew_concentrates_mass(self):
+        """With skew 0.99, the hottest keys dominate the distribution."""
+        sampler = ZipfSampler(10_000, seed=1)
+        hot = set(sampler.hot_keys(100))  # top 1 %
+        samples = sampler.sample_many(20_000)
+        hot_fraction = sum(s in hot for s in samples) / len(samples)
+        assert hot_fraction > 0.4
+
+    def test_rank_order(self):
+        """Lower ranks (hotter keys) are sampled more often."""
+        sampler = ZipfSampler(100, seed=7, shuffle=False)
+        counts = collections.Counter(sampler.sample_many(50_000))
+        assert counts[0] > counts[10] > counts[90]
+
+    def test_zero_skew_is_uniform(self):
+        sampler = ZipfSampler(10, skew=0.0, seed=1)
+        counts = collections.Counter(sampler.sample_many(20_000))
+        for key in range(10):
+            assert 1600 < counts[key] < 2400
+
+    def test_deterministic(self):
+        a = ZipfSampler(500, seed=5).sample_many(50)
+        b = ZipfSampler(500, seed=5).sample_many(50)
+        assert a == b
+
+    def test_shuffle_spreads_hot_keys(self):
+        shuffled = ZipfSampler(1000, seed=1, shuffle=True)
+        assert shuffled.hot_keys(3) != [0, 1, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, skew=-1)
+
+
+class TestWorkloadSpec:
+    def test_name(self):
+        assert WorkloadSpec(0.5, "zipf").name == "long-tail/50%PUT"
+        assert WorkloadSpec(0.0, "uniform").name == "uniform/0%PUT"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(put_ratio=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(distribution="pareto")
+
+    def test_paper_workloads(self):
+        specs = paper_workloads()
+        assert len(specs) == 8
+        assert {s.distribution for s in specs} == {"uniform", "zipf"}
+        assert {s.put_ratio for s in specs} == set(PAPER_PUT_RATIOS)
+
+
+class TestYCSBGenerator:
+    def _generator(self, put_ratio=0.5, distribution="uniform"):
+        ks = KeySpace(count=200, kv_size=32)
+        return YCSBGenerator(ks, WorkloadSpec(put_ratio, distribution))
+
+    def test_load_phase_covers_corpus(self):
+        gen = self._generator()
+        ops = list(gen.load_phase())
+        assert len(ops) == 200
+        assert all(op.op is OpType.PUT for op in ops)
+        assert len({op.key for op in ops}) == 200
+
+    def test_put_ratio_respected(self):
+        gen = self._generator(put_ratio=0.3)
+        ops = gen.operations(5000)
+        puts = sum(op.op is OpType.PUT for op in ops)
+        assert 0.25 < puts / len(ops) < 0.35
+
+    def test_pure_get(self):
+        gen = self._generator(put_ratio=0.0)
+        assert all(op.op is OpType.GET for op in gen.operations(500))
+
+    def test_pure_put(self):
+        gen = self._generator(put_ratio=1.0)
+        assert all(op.op is OpType.PUT for op in gen.operations(500))
+
+    def test_zipf_workload_skews(self):
+        gen = self._generator(put_ratio=0.0, distribution="zipf")
+        ops = gen.operations(5000)
+        counts = collections.Counter(op.key for op in ops)
+        top = counts.most_common(1)[0][1]
+        assert top > 5000 / 200 * 5  # far above the uniform share
+
+    def test_sequences_assigned(self):
+        gen = self._generator()
+        ops = gen.operations(10)
+        assert [op.seq for op in ops] == list(range(10))
