@@ -7,19 +7,27 @@ while keeping networking latency below 3.5 us" (Figure 15).
 The client measures what the paper's FPGA packet generator measures:
 sustainable throughput and request-to-response latency including both
 network directions and batching delay.
+
+Reliability: with a fault plan injecting packet loss, the client retries
+lost flights with exponential backoff.  A lost *request* never reached the
+server, so the whole batch is resent; a lost *response* carries results of
+operations that already executed, so only the response flight is
+retransmitted (the server keeps a retransmit buffer) - atomics are never
+applied twice.  When the retry budget is exhausted the batch fails with
+:class:`~repro.errors.RetryExhausted`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Generator, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List
 
-from repro.core.operations import KVOperation
+from repro.core.operations import KVOperation, KVResult
 from repro.core.processor import KVProcessor
-from repro.errors import ConfigurationError
-from repro.network.batching import encode_batch
+from repro.errors import ConfigurationError, FaultInjected, RetryExhausted
+from repro.network.batching import decode_batch, encode_batch
 from repro.network.rdma import packet_wire_bytes
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Process, Simulator
 from repro.sim.stats import Histogram, mops
 
 
@@ -36,6 +44,10 @@ class ClientStats:
     latency_p99_ns: float
     request_bytes_on_wire: int
     response_bytes_on_wire: int
+    #: Flights retransmitted after injected packet loss.
+    retries: int = 0
+    #: Operations whose server-side execution failed (fault surfaced).
+    failed_ops: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -46,6 +58,8 @@ class ClientStats:
             "latency_p50_ns": self.latency_p50_ns,
             "latency_p95_ns": self.latency_p95_ns,
             "latency_p99_ns": self.latency_p99_ns,
+            "retries": float(self.retries),
+            "failed_ops": float(self.failed_ops),
         }
 
 
@@ -58,16 +72,32 @@ class KVClient:
         processor: KVProcessor,
         batch_size: int = 32,
         max_outstanding_batches: int = 16,
+        retry_limit: int = 8,
+        retry_backoff_ns: float = 1000.0,
+        checksum: bool = False,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError("batch size must be positive")
         if max_outstanding_batches <= 0:
             raise ConfigurationError("need at least one outstanding batch")
+        if retry_limit < 0:
+            raise ConfigurationError("retry limit must be non-negative")
+        if retry_backoff_ns < 0:
+            raise ConfigurationError("retry backoff must be non-negative")
         self.sim = sim
         self.processor = processor
         self.batch_size = batch_size
         self.max_outstanding = max_outstanding_batches
+        self.retry_limit = retry_limit
+        self.retry_backoff_ns = retry_backoff_ns
+        #: Seal request payloads with the FNV-1a integrity trailer.
+        self.checksum = checksum
         self.latencies = Histogram()
+        #: Responses keyed by op sequence number (ops with seq >= 0;
+        #: latest write wins on a reused seq).
+        self.responses: Dict[int, KVResult] = {}
+        self.retries = 0
+        self.failed_ops = 0
         self._request_bytes = 0
         self._response_bytes = 0
 
@@ -90,6 +120,8 @@ class KVClient:
             latency_p99_ns=self.latencies.percentile(99),
             request_bytes_on_wire=self._request_bytes,
             response_bytes_on_wire=self._response_bytes,
+            retries=self.retries,
+            failed_ops=self.failed_ops,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -104,6 +136,15 @@ class KVClient:
         state = {"outstanding": 0, "next": 0, "done": 0, "total": len(batches)}
         all_done = self.sim.event()
 
+        def watch(proc: Process) -> None:
+            # A batch that exhausts its retries fails its process; surface
+            # that instead of deadlocking the run.
+            def on_settle(event: Event) -> None:
+                if event.exception is not None and not all_done.triggered:
+                    all_done.fail(event.exception)
+
+            proc.add_callback(on_settle)
+
         def launch() -> None:
             while (
                 state["next"] < state["total"]
@@ -112,13 +153,14 @@ class KVClient:
                 batch = batches[state["next"]]
                 state["next"] += 1
                 state["outstanding"] += 1
-                self.sim.process(self._send_batch(batch, on_batch_done))
+                watch(self.sim.process(self._send_batch(batch, on_batch_done)))
 
         def on_batch_done() -> None:
             state["outstanding"] -= 1
             state["done"] += 1
             if state["done"] == state["total"]:
-                all_done.succeed()
+                if not all_done.triggered:
+                    all_done.succeed()
             else:
                 launch()
 
@@ -128,32 +170,92 @@ class KVClient:
     def _send_batch(self, batch: List[KVOperation], callback) -> Generator:
         start = self.sim.now
         network = self.processor.network
-        payload = encode_batch(batch)
+        payload = encode_batch(batch, checksum=self.checksum)
         wire = packet_wire_bytes(len(payload))
-        self._request_bytes += wire
-        # Request flight: serialization on the port plus propagation.
-        yield network.receive(wire)
-        # Server side: decode + process every op in the batch.
-        events = [self.processor.submit(op) for op in batch]
-        yield self.sim.all_of(events)
-        # Response flight back to the client.
-        response_payload = sum(
-            _response_size(event.value) for event in events
+        # Request flight: serialization on the port plus propagation.  A
+        # lost request never reached the server; resend the whole batch.
+        yield from self._flight_with_retries(
+            lambda: network.receive(wire), wire, "request"
         )
+        # Server side: verify + unpack as the NIC batch decoder would, then
+        # process every op.  (The submitted ops keep their seq numbers; the
+        # decode is the integrity check.)
+        if self.checksum:
+            decode_batch(payload, checksum=True)
+        events = [self.processor.submit(op) for op in batch]
+        yield self._settled(events)
+        for event in events:
+            if event.ok:
+                result = event.value
+                if result.seq >= 0:
+                    self.responses[result.seq] = result
+            else:
+                self.failed_ops += 1
+        # Response flight back to the client.  These ops already executed,
+        # so only the send retries (server retransmit buffer).
+        response_payload = sum(_response_size(event) for event in events)
         response_wire = packet_wire_bytes(response_payload)
-        self._response_bytes += response_wire
-        yield network.send(response_wire)
+        yield from self._flight_with_retries(
+            lambda: network.send(response_wire), response_wire, "response"
+        )
         latency = self.sim.now - start
         for __ in batch:
             self.latencies.record(latency)
         callback()
 
+    def _flight_with_retries(
+        self, flight: Callable[[], Process], wire: int, direction: str
+    ) -> Generator:
+        """Run one network flight, retrying injected losses with
+        exponential backoff; raises
+        :class:`~repro.errors.RetryExhausted` past the retry limit."""
+        attempt = 0
+        while True:
+            if direction == "request":
+                self._request_bytes += wire
+            else:
+                self._response_bytes += wire
+            try:
+                yield flight()
+            except FaultInjected as exc:
+                attempt += 1
+                if attempt > self.retry_limit:
+                    raise RetryExhausted(
+                        f"{direction} flight lost {attempt} times "
+                        f"(retry limit {self.retry_limit})"
+                    ) from exc
+                self.retries += 1
+                yield self.sim.timeout(
+                    self.retry_backoff_ns * (2 ** (attempt - 1))
+                )
+                continue
+            return
 
-def _response_size(result) -> int:
+    def _settled(self, events: List[Event]) -> Event:
+        """An event firing once every op event settled - succeeded *or*
+        failed.  (``sim.all_of`` fails fast, which would abandon the rest
+        of the batch mid-flight.)"""
+        gate = self.sim.event()
+        state = {"remaining": len(events)}
+
+        def on_settle(event: Event) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                gate.succeed()
+
+        if not events:
+            gate.succeed()
+            return gate
+        for event in events:
+            event.add_callback(on_settle)
+        return gate
+
+
+def _response_size(event: Event) -> int:
     """Bytes one result occupies in a response packet."""
     base = 4  # opcode + status + sequence echo
-    if result.value is not None:
-        return base + 2 + len(result.value)
+    if event.ok and event.value.value is not None:
+        return base + 2 + len(event.value.value)
     return base
 
 

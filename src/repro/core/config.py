@@ -12,11 +12,13 @@ access pattern and target memory utilization."
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro import constants
 from repro.constants import BUCKET_SIZE
 from repro.core.hashindex import max_inline_kv_size
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -70,7 +72,20 @@ class KVDirectConfig:
     #: Seed for the latency distributions.
     seed: int = 0
 
+    #: Optional fault-injection plan (see :mod:`repro.faults`).  When set,
+    #: the store and processor share one deterministic
+    #: :class:`~repro.faults.injector.FaultInjector` seeded from ``seed``,
+    #: and every hardware layer consults it at its fault sites.
+    fault_plan: Optional[FaultPlan] = None
+
     def __post_init__(self) -> None:
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan, got "
+                f"{type(self.fault_plan).__name__}"
+            )
         if self.memory_size < 4 * BUCKET_SIZE:
             raise ConfigurationError("memory_size too small")
         if not 0.0 < self.hash_index_ratio < 1.0:

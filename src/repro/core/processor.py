@@ -27,7 +27,7 @@ from repro.core.ooo import Admission, ReservationStation
 from repro.core.operations import KVOperation, KVResult, OpType
 from repro.core.store import KVDirectStore
 from repro.core.vector import apply_operation
-from repro.dram.cache import DramCache
+from repro.dram.cache import DramCache, ECCFaultPath
 from repro.dram.nic import NICDram
 from repro.errors import KVDirectError, SimulationError
 from repro.memory.dispatcher import LoadDispatcher
@@ -67,6 +67,10 @@ class KVProcessor:
         #: omitting it models the paper's matched-throughput case).
         self.hls = hls
         cfg = self.config
+        #: The store's fault injector (None on clean runs); shared so the
+        #: functional slab path and the timed hardware models draw from one
+        #: deterministic schedule.
+        self.injector = store.injector
 
         # -- hardware models ----------------------------------------------
         self.dma = MultiLinkDMA(
@@ -75,6 +79,7 @@ class KVProcessor:
             config_factory=lambda seed: PCIeLinkConfig.gen3_x8(
                 seed=seed + cfg.seed
             ),
+            injector=self.injector,
         )
         self.nic_dram = NICDram(sim, size=cfg.effective_nic_dram)
         dispatch_ratio = cfg.load_dispatch_ratio if cfg.use_nic_dram else 0.0
@@ -86,11 +91,24 @@ class KVProcessor:
                 host_lines=max(1, cfg.memory_size // 64),
             )
         self.cache = cache
+        ecc = None
+        if (
+            self.injector is not None
+            and cache is not None
+            and (
+                self.injector.plan.bit_flip_prob > 0.0
+                or self.injector.plan.double_bit_flip_prob > 0.0
+            )
+        ):
+            ecc = ECCFaultPath(self.injector)
         self.engine = MemoryAccessEngine(
-            sim, self.dma, self.nic_dram, self.dispatcher, cache
+            sim, self.dma, self.nic_dram, self.dispatcher, cache, ecc=ecc
         )
         self.network = EthernetLink(
-            sim, bandwidth=cfg.network_bandwidth, rtt_ns=cfg.network_rtt_ns
+            sim,
+            bandwidth=cfg.network_bandwidth,
+            rtt_ns=cfg.network_rtt_ns,
+            injector=self.injector,
         )
 
         # -- pipeline stages ------------------------------------------------
@@ -172,12 +190,22 @@ class KVProcessor:
         # Dependent accesses replay serially: a record read cannot start
         # before its bucket read returned the pointer.
         replay_start = self.sim.now
-        for kind, addr, size in trace:
-            yield self.engine.access(addr, size, write=(kind == "write"))
+        try:
+            for kind, addr, size in trace:
+                yield self.engine.access(addr, size, write=(kind == "write"))
+            compute_ns = self._compute_time(op, value_after)
+            if compute_ns > 0:
+                yield self.sim.timeout(compute_ns)
+        except KVDirectError as exc:
+            # Graceful degradation: an unrecoverable hardware fault (DMA
+            # retry exhaustion, uncorrectable ECC error) fails only this
+            # operation - the pipeline, its dependents, and the rest of the
+            # simulation keep running.
+            self.memory_time.record(self.sim.now - replay_start)
+            self.counters.add("fault_failed_replays")
+            self._fail_op(op, exc)
+            return
         self.memory_time.record(self.sim.now - replay_start)
-        compute_ns = self._compute_time(op, value_after)
-        if compute_ns > 0:
-            yield self.sim.timeout(compute_ns)
         self.counters.add("main_pipeline_ops")
         self._complete(op, result, value_after)
 
@@ -251,9 +279,17 @@ class KVProcessor:
 
     def _fail_op(self, op: KVOperation, exc: KVDirectError) -> None:
         """Surface a server-side error (e.g. out of memory) to the client
-        and unblock any dependents parked behind the failed op."""
+        and unblock any dependents parked behind the failed op.
+
+        Dependents must be forwarded the key's *true* current value: if the
+        op failed during timing replay its functional effect has already
+        been applied, and if it failed before execution the old value still
+        stands - either way ``table.get`` is the ground truth, and handing
+        dependents ``None`` would forward stale data.
+        """
         self.counters.add("failed_ops")
-        completion = self.station.complete(op, None)
+        value_after = self.store.table.get(op.key)
+        completion = self.station.complete(op, value_after)
         if op.seq >= 0:
             event = self._waiting.pop(id(op), None)
             self.inflight.release()

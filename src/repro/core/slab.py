@@ -17,7 +17,7 @@ same DMA count per sync, which is what the <0.07-DMA/op bound measures.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.constants import (
     SLAB_NIC_STACK_CAPACITY,
@@ -29,8 +29,11 @@ from repro.core.slab_host import (
     class_for_size,
     class_size,
 )
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import AllocationError, ConfigurationError, FaultInjected
 from repro.sim.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 #: Wire size of one slab entry: address field + slab type field (section
 #: 3.3.2 - including the type in the entry makes splitting a pure copy).
@@ -45,6 +48,7 @@ class SlabAllocator:
         host: HostSlabManager,
         sync_batch: int = SLAB_SYNC_BATCH,
         stack_capacity: int = SLAB_NIC_STACK_CAPACITY,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if sync_batch <= 0:
             raise ConfigurationError("sync batch must be positive")
@@ -58,6 +62,11 @@ class SlabAllocator:
         self._stacks: Dict[int, List[int]] = {
             c: [] for c in range(NUM_CLASSES)
         }
+        #: Optional fault injector: simulated slab-area exhaustion.
+        self.injector = injector
+        #: Outstanding allocations (addr -> class), the ownership ledger
+        #: that rejects double frees and class-mismatched frees.
+        self._live: Dict[int, int] = {}
         self.counters = Counter()
 
     # -- allocation -----------------------------------------------------------
@@ -69,17 +78,48 @@ class SlabAllocator:
 
     def alloc_class(self, class_index: int) -> int:
         """Allocate one slab of an explicit size class."""
+        if self.injector is not None and self.injector.slab_exhausted(
+            detail=f"class {class_index}"
+        ):
+            self.counters.add("fault_exhaustions")
+            raise FaultInjected(
+                f"injected slab exhaustion for class {class_index} "
+                f"({class_size(class_index)} B)"
+            )
         stack = self._stacks[class_index]
         if not stack:
             self._sync_from_host(class_index)
             stack = self._stacks[class_index]
         self.counters.add("allocs")
-        return stack.pop()
+        addr = stack.pop()
+        self._live[addr] = class_index
+        return addr
 
     def free(self, addr: int, class_index: int) -> None:
-        """Return a slab of ``class_index`` at ``addr`` to the free pool."""
+        """Return a slab of ``class_index`` at ``addr`` to the free pool.
+
+        Frees are validated against the ownership ledger: freeing an
+        address that is not currently allocated (double free, or an
+        address this allocator never handed out) or freeing with the wrong
+        size class raises :class:`~repro.errors.AllocationError` instead of
+        corrupting the free pools.
+        """
         if not 0 <= class_index < NUM_CLASSES:
             raise AllocationError(f"bad slab class: {class_index}")
+        owner_class = self._live.pop(addr, None)
+        if owner_class is None:
+            self.counters.add("rejected_frees")
+            raise AllocationError(
+                f"free of address {addr:#x} that is not allocated "
+                f"(double free?)"
+            )
+        if owner_class != class_index:
+            self._live[addr] = owner_class
+            self.counters.add("rejected_frees")
+            raise AllocationError(
+                f"free of address {addr:#x} with class {class_index}, "
+                f"but it was allocated as class {owner_class}"
+            )
         stack = self._stacks[class_index]
         stack.append(addr)
         self.counters.add("frees")
@@ -114,6 +154,26 @@ class SlabAllocator:
         self.counters.add("sync_writes")
         self.counters.add("sync_write_bytes", len(entries) * SLAB_ENTRY_BYTES)
 
+    def flush(self) -> int:
+        """Drain every cached free entry back to the host.
+
+        Returns the number of entries drained.  Used on teardown and by
+        invariant checks: after a flush, the host's pools plus the ledger
+        of live allocations account for every byte of the dynamic area.
+        """
+        drained = 0
+        for class_index, stack in self._stacks.items():
+            if not stack:
+                continue
+            self.host.push(class_index, stack)
+            drained += len(stack)
+            self.counters.add("sync_writes")
+            self.counters.add(
+                "sync_write_bytes", len(stack) * SLAB_ENTRY_BYTES
+            )
+            self._stacks[class_index] = []
+        return drained
+
     # -- accounting -----------------------------------------------------------------
 
     @property
@@ -128,6 +188,14 @@ class SlabAllocator:
 
     def cached_entries(self, class_index: int) -> int:
         return len(self._stacks[class_index])
+
+    @property
+    def live_allocations(self) -> int:
+        """Slabs currently allocated (handed out and not yet freed)."""
+        return len(self._live)
+
+    def is_live(self, addr: int) -> bool:
+        return addr in self._live
 
     def snapshot(self) -> dict:
         data = self.counters.snapshot()

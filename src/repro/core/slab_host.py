@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.constants import SLAB_MIN_SIZE, SLAB_SIZES
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import AllocationError, ConfigurationError, SimulationError
 from repro.sim.stats import Counter
 
 #: Number of slab size classes (32, 64, 128, 256, 512).
@@ -268,6 +268,41 @@ class HostSlabManager:
         return merged
 
     # -- introspection -------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify pools and bitmap agree exactly; raises on any violation.
+
+        Checks that (1) no two pooled free slabs overlap, (2) every pooled
+        slab is marked free in the bitmap, aligned to its class, and inside
+        the region, and (3) the pools account for *all* free units - so a
+        leaked or double-counted slab is caught, not papered over.
+        """
+        claimed = np.zeros(self.bitmap.units, dtype=bool)
+        for class_index, pool in self.pools.items():
+            units = self._units_of(class_index)
+            for addr in pool:
+                unit = self._unit(addr)  # raises if outside the region
+                if unit % units:
+                    raise SimulationError(
+                        f"free slab {addr:#x} misaligned for class "
+                        f"{class_index}"
+                    )
+                if claimed[unit : unit + units].any():
+                    raise SimulationError(
+                        f"free slab {addr:#x} overlaps another pooled slab"
+                    )
+                if not self.bitmap.is_free(unit, units):
+                    raise SimulationError(
+                        f"pooled slab {addr:#x} is marked allocated in "
+                        f"the bitmap"
+                    )
+                claimed[unit : unit + units] = True
+        pooled = int(claimed.sum())
+        if pooled != self.bitmap.free_units():
+            raise SimulationError(
+                f"pools cover {pooled} free units but the bitmap reports "
+                f"{self.bitmap.free_units()}"
+            )
 
     def free_bytes(self) -> int:
         return sum(

@@ -22,6 +22,7 @@ from repro.core.slab_host import HostSlabManager
 from repro.core.vector import FuncKind, FunctionRegistry, apply_operation
 from repro.dram.host import MemoryImage
 from repro.errors import KVDirectError
+from repro.faults.injector import FaultInjector
 
 
 class KVDirectStore:
@@ -29,6 +30,13 @@ class KVDirectStore:
 
     def __init__(self, config: Optional[KVDirectConfig] = None) -> None:
         self.config = config or KVDirectConfig()
+        #: Shared fault injector (one per store/processor stack), created
+        #: when the config carries a fault plan; None on clean runs.
+        self.injector = (
+            FaultInjector(self.config.fault_plan, seed=self.config.seed)
+            if self.config.fault_plan is not None
+            else None
+        )
         self.memory = MemoryImage(self.config.memory_size, name="host_kvs")
         self.host_slab = HostSlabManager(
             base=self.config.index_bytes, size=self.config.dynamic_bytes
@@ -37,6 +45,7 @@ class KVDirectStore:
             self.host_slab,
             sync_batch=self.config.slab_sync_batch,
             stack_capacity=self.config.slab_stack_capacity,
+            injector=self.injector,
         )
         self.table = HashTable(
             self.memory,

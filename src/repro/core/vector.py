@@ -21,7 +21,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.operations import KVOperation, KVResult, OpType
-from repro.errors import KVDirectError
+from repro.errors import KVDirectError, MalformedValueError
 
 
 class FuncKind(Enum):
@@ -152,7 +152,7 @@ _FORMATS = {
 def unpack_elements(data: bytes, element_size: int, signed: bool) -> List[int]:
     """Interpret a value as a vector of fixed-width elements."""
     if len(data) % element_size:
-        raise KVDirectError(
+        raise MalformedValueError(
             f"value of {len(data)} B is not whole {element_size} B elements"
         )
     fmt = "<" + _FORMATS[(element_size, signed)] * (len(data) // element_size)
@@ -229,7 +229,7 @@ def apply_operation(
         elements = unpack_elements(current, size, signed)
         deltas = unpack_elements(op.value or b"", size, signed)
         if len(deltas) != len(elements):
-            raise KVDirectError(
+            raise MalformedValueError(
                 f"delta vector has {len(deltas)} elements, value has "
                 f"{len(elements)}"
             )

@@ -15,10 +15,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dram.ecc import ECCLineLayout, ECCMetadataCodec
-from repro.errors import ConfigurationError
+from repro.dram.hamming import DecodeStatus, HammingSECDED
+from repro.errors import ConfigurationError, CorruptionDetected
+from repro.sim.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -191,3 +196,73 @@ class DramCache:
     def occupancy(self) -> float:
         """Fraction of NIC slots holding a valid line."""
         return sum(self._valid) / self.nic_lines
+
+
+class ECCFaultPath:
+    """Routes injected NIC-DRAM bit flips through the real SEC-DED codec.
+
+    When the active :class:`~repro.faults.plan.FaultPlan` fires a bit-flip
+    fault on a cached-line read, this path *actually runs the Hamming
+    machinery* on a word of the line: it encodes a word, flips one or two
+    bits at injector-chosen positions, and decodes.  A single flip must
+    come back :attr:`~repro.dram.hamming.DecodeStatus.CORRECTED` with the
+    original data (served transparently, counted); a double flip comes back
+    :attr:`~repro.dram.hamming.DecodeStatus.DOUBLE_ERROR` and the read
+    raises :class:`~repro.errors.CorruptionDetected` rather than serving
+    garbage - the paper's ECC story, demonstrated instead of asserted.
+    """
+
+    #: Fault sites consulted on every protected read.
+    SITE_DOUBLE = "dram.ecc.double"
+    SITE_SINGLE = "dram.ecc.single"
+    SITE_POSITIONS = "dram.ecc.positions"
+
+    def __init__(
+        self,
+        injector: "FaultInjector",
+        codec: Optional[HammingSECDED] = None,
+    ) -> None:
+        self.injector = injector
+        self.codec = codec or HammingSECDED(64)
+        self.counters = Counter()
+
+    def read_word(self, now: Optional[float] = None) -> DecodeStatus:
+        """Run one ECC word read under the fault plan.
+
+        Returns the decode status; raises
+        :class:`~repro.errors.CorruptionDetected` on an uncorrectable
+        double-bit error.
+        """
+        injector = self.injector
+        plan = injector.plan
+        double = injector.fire(
+            self.SITE_DOUBLE, "double_bit_flip", plan.double_bit_flip_prob,
+            now,
+        )
+        single = not double and injector.fire(
+            self.SITE_SINGLE, "bit_flip", plan.bit_flip_prob, now
+        )
+        if not double and not single:
+            return DecodeStatus.CLEAN
+        rng = injector.rng(self.SITE_POSITIONS)
+        codec = self.codec
+        word = rng.getrandbits(codec.data_bits)
+        positions = rng.sample(
+            range(1, codec.total_bits + 1), 2 if double else 1
+        )
+        result = codec.decode(codec.corrupt(codec.encode(word), positions))
+        if result.status is DecodeStatus.CORRECTED:
+            if result.data != word:  # pragma: no cover - codec invariant
+                raise CorruptionDetected(
+                    "SEC-DED correction returned the wrong data"
+                )
+            self.counters.add("corrected_bits")
+            return result.status
+        self.counters.add("detected_double_errors")
+        raise CorruptionDetected(
+            f"uncorrectable double-bit error in NIC DRAM "
+            f"(positions {sorted(positions)})"
+        )
+
+    def snapshot(self) -> dict:
+        return self.counters.snapshot()

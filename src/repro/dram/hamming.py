@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Iterable, Tuple
 
 from repro.dram.ecc import hamming_parity_bits
 from repro.errors import KVDirectError
@@ -140,6 +140,22 @@ class HammingSECDED:
         if not 1 <= position <= self.total_bits:
             raise KVDirectError(f"position outside codeword: {position}")
         return codeword ^ (1 << (position - 1))
+
+    def corrupt(self, codeword: int, positions: Iterable[int]) -> int:
+        """Flip several distinct 1-based positions (fault injection).
+
+        Duplicate positions are rejected: flipping the same bit twice is a
+        no-op and would make an intended double-error a clean word.
+        """
+        seen = set()
+        for position in positions:
+            if position in seen:
+                raise KVDirectError(
+                    f"duplicate corruption position: {position}"
+                )
+            seen.add(position)
+            codeword = self.flip(codeword, position)
+        return codeword
 
     def roundtrip(self, data: int) -> Tuple[int, DecodeResult]:
         codeword = self.encode(data)

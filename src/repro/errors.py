@@ -17,8 +17,13 @@ class KeyTooLargeError(KVDirectError):
     """Key or key-value pair exceeds the maximum supported size."""
 
 
-class ValueError_(KVDirectError):
+class MalformedValueError(KVDirectError):
     """A malformed value was supplied (e.g. vector element mismatch)."""
+
+
+#: Deprecated alias for :class:`MalformedValueError`; kept for backwards
+#: compatibility with pre-1.1 code.  Do not use in new code.
+ValueError_ = MalformedValueError
 
 
 class SimulationError(KVDirectError):
@@ -31,3 +36,26 @@ class ProtocolError(KVDirectError):
 
 class AllocationError(CapacityError):
     """The slab allocator could not satisfy a request."""
+
+
+class FaultInjected(KVDirectError):
+    """An injected fault made the operation fail (chaos testing).
+
+    Raised by hardware models when the active
+    :class:`~repro.faults.plan.FaultPlan` fires an unrecoverable fault:
+    a DMA whose TLPs were dropped beyond the retry budget, an injected
+    slab-area exhaustion, or a lost network packet.
+    """
+
+
+class RetryExhausted(FaultInjected):
+    """A client retried past its budget without a successful delivery."""
+
+
+class CorruptionDetected(KVDirectError):
+    """Data corruption was detected (and not correctable) by the ECC path.
+
+    Corresponds to a SEC-DED double-bit error: the Hamming code detects
+    the corruption but cannot repair it, so serving the data would return
+    garbage.  The operation fails instead of returning wrong data.
+    """

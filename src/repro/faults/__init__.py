@@ -1,0 +1,25 @@
+"""Fault injection: deterministic chaos for the simulated KV pipeline.
+
+The paper's system leans on ECC/Hamming protection for NIC DRAM and on
+strict per-key ordering in the out-of-order engine; this package makes
+those properties *testable under stress*.  A frozen
+:class:`~repro.faults.plan.FaultPlan` describes what can go wrong (PCIe
+delay spikes and dropped TLPs, NIC-DRAM bit flips, packet
+loss/reorder/duplication, slab exhaustion); a
+:class:`~repro.faults.injector.FaultInjector` turns it into a
+seed-reproducible schedule with per-site RNG streams, a fault log, and a
+digest for byte-identical-replay assertions.
+
+Attach a plan via ``KVDirectConfig(fault_plan=...)``; the store and
+processor wire one shared injector through every hardware model.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import FaultPlan, FaultWindow
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+]

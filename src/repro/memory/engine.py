@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.constants import CACHE_LINE_SIZE
-from repro.dram.cache import DramCache
+from repro.dram.cache import DramCache, ECCFaultPath
 from repro.dram.nic import NICDram
 from repro.memory.dispatcher import LoadDispatcher
 from repro.pcie.dma import MultiLinkDMA
@@ -34,6 +34,7 @@ class MemoryAccessEngine:
         dispatcher: LoadDispatcher,
         cache: Optional[DramCache] = None,
         line_size: int = CACHE_LINE_SIZE,
+        ecc: Optional[ECCFaultPath] = None,
     ) -> None:
         self.sim = sim
         self.dma = dma
@@ -41,6 +42,9 @@ class MemoryAccessEngine:
         self.dispatcher = dispatcher
         self.cache = cache
         self.line_size = line_size
+        #: Optional ECC fault path: injected bit flips on cached-line reads
+        #: run through the real SEC-DED codec (corrected or detected).
+        self.ecc = ecc
         self.counters = Counter()
 
     def access(self, addr: int, size: int, write: bool = False) -> Process:
@@ -82,6 +86,11 @@ class MemoryAccessEngine:
         result = cache.access(line, write, full_line=full)
         if result.hit:
             self.counters.add("cache_hits")
+            if not write and self.ecc is not None:
+                # A read serves data out of NIC DRAM: one word of the line
+                # passes through the SEC-DED path (may raise
+                # CorruptionDetected on an injected double-bit error).
+                self.ecc.read_word(self.sim.now)
             yield self.nic_dram.access(self.line_size, write=write)
             return
         self.counters.add("cache_misses")
@@ -109,4 +118,8 @@ class MemoryAccessEngine:
         data.update(
             {f"nic_{k}": v for k, v in self.nic_dram.snapshot().items()}
         )
+        if self.ecc is not None:
+            data.update(
+                {f"ecc_{k}": v for k, v in self.ecc.snapshot().items()}
+            )
         return data

@@ -29,7 +29,7 @@ import struct
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.operations import KVOperation, OpType
-from repro.errors import ProtocolError
+from repro.errors import CorruptionDetected, ProtocolError
 
 _OPCODE_MASK = 0x0F
 _FLAG_SAME_KLEN = 0x10
@@ -37,6 +37,49 @@ _FLAG_SAME_VLEN = 0x20
 _FLAG_SAME_VALUE = 0x40
 
 _U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+#: FNV-1a 32-bit parameters, for the optional batch integrity trailer.
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def batch_checksum(payload: bytes) -> int:
+    """FNV-1a 32-bit checksum of a batch payload.
+
+    Cheap enough to compute per packet in hardware; used by the optional
+    integrity trailer so injected payload corruption is *detected* (raising
+    :class:`~repro.errors.CorruptionDetected`) instead of silently decoding
+    into wrong operations.
+    """
+    acc = _FNV_OFFSET
+    for byte in payload:
+        acc = ((acc ^ byte) * _FNV_PRIME) & 0xFFFFFFFF
+    return acc
+
+
+def seal_batch(payload: bytes) -> bytes:
+    """Append the integrity trailer to an encoded batch payload."""
+    return payload + _U32.pack(batch_checksum(payload))
+
+
+def unseal_batch(data: bytes) -> bytes:
+    """Verify and strip the integrity trailer.
+
+    Raises :class:`~repro.errors.CorruptionDetected` on checksum mismatch
+    and :class:`~repro.errors.ProtocolError` if the trailer is missing.
+    """
+    if len(data) < _U32.size:
+        raise ProtocolError("batch too short for integrity trailer")
+    payload, trailer = data[: -_U32.size], data[-_U32.size :]
+    (expected,) = _U32.unpack(trailer)
+    actual = batch_checksum(payload)
+    if actual != expected:
+        raise CorruptionDetected(
+            f"batch checksum mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x}"
+        )
+    return payload
 
 
 class BatchEncoder:
@@ -183,16 +226,24 @@ class BatchDecoder:
         return ops
 
 
-def encode_batch(ops: Iterable[KVOperation]) -> bytes:
-    """Encode a sequence of operations into one batch payload."""
+def encode_batch(
+    ops: Iterable[KVOperation], checksum: bool = False
+) -> bytes:
+    """Encode a sequence of operations into one batch payload.
+
+    ``checksum=True`` appends the 4-byte FNV-1a integrity trailer.
+    """
     encoder = BatchEncoder()
     for op in ops:
         encoder.add(op)
-    return encoder.finish()
+    payload = encoder.finish()
+    return seal_batch(payload) if checksum else payload
 
 
-def decode_batch(data: bytes) -> List[KVOperation]:
-    """Decode one batch payload."""
+def decode_batch(data: bytes, checksum: bool = False) -> List[KVOperation]:
+    """Decode one batch payload, verifying the trailer if ``checksum``."""
+    if checksum:
+        data = unseal_batch(data)
     return BatchDecoder(data).decode()
 
 

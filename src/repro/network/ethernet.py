@@ -1,12 +1,25 @@
-"""40 GbE port model: bandwidth serialization plus propagation delay."""
+"""40 GbE port model: bandwidth serialization plus propagation delay.
+
+With a fault injector attached, each direction also models fabric
+misbehaviour: packet **loss** (the transfer process fails with
+:class:`~repro.errors.FaultInjected`; the client's retry/backoff path
+recovers), **reordering** (the packet is delayed past its successors), and
+**duplication** (the copy burns link bandwidth but is discarded by the
+receiver).
+"""
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro import constants
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjected
 from repro.sim.engine import Process, Simulator
 from repro.sim.resources import BandwidthServer
 from repro.sim.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class EthernetLink:
@@ -22,6 +35,7 @@ class EthernetLink:
         sim: Simulator,
         bandwidth: float = constants.NETWORK_BANDWIDTH,
         rtt_ns: float = constants.NETWORK_RTT_NS,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ConfigurationError("network bandwidth must be positive")
@@ -32,22 +46,40 @@ class EthernetLink:
         rate = bandwidth / 1e9
         self.ingress = BandwidthServer(sim, rate, name="eth.rx")
         self.egress = BandwidthServer(sim, rate, name="eth.tx")
+        #: Optional fault injector: loss / reorder / duplication per flight.
+        self.injector = injector
         self.counters = Counter()
 
     def receive(self, nbytes: int) -> Process:
         """Client -> server transfer; completes when fully received."""
         self.counters.add("rx_packets")
         self.counters.add("rx_bytes", nbytes)
-        return self.sim.process(self._transfer(self.ingress, nbytes))
+        return self.sim.process(self._transfer(self.ingress, nbytes, "rx"))
 
     def send(self, nbytes: int) -> Process:
         """Server -> client transfer; completes when delivered."""
         self.counters.add("tx_packets")
         self.counters.add("tx_bytes", nbytes)
-        return self.sim.process(self._transfer(self.egress, nbytes))
+        return self.sim.process(self._transfer(self.egress, nbytes, "tx"))
 
-    def _transfer(self, channel: BandwidthServer, nbytes: int):
+    def _transfer(self, channel: BandwidthServer, nbytes: int, direction: str):
         yield channel.transfer(nbytes)
+        injector = self.injector
+        if injector is not None:
+            site = f"eth.{direction}"
+            if injector.packet_duplicate(site, self.sim.now):
+                # The duplicate serializes too; the receiver drops it.
+                self.counters.add(f"{direction}_duplicates")
+                yield channel.transfer(nbytes)
+            if injector.packet_reorder(site, self.sim.now):
+                # Held in the fabric long enough for successors to pass it.
+                self.counters.add(f"{direction}_reordered")
+                yield self.sim.timeout(injector.plan.packet_reorder_delay_ns)
+            if injector.packet_loss(site, self.sim.now):
+                self.counters.add(f"{direction}_lost")
+                raise FaultInjected(
+                    f"{direction} packet ({nbytes} B) lost in the fabric"
+                )
         yield self.sim.timeout(self.rtt_ns / 2.0)
 
     def snapshot(self) -> dict:

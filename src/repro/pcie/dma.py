@@ -20,17 +20,22 @@ tag-bound near 60 Mops; writes are bandwidth-bound near 80 Mops.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.errors import FaultInjected
 from repro.pcie.link import PCIeLinkConfig
 from repro.pcie.tlp import (
     read_request_bytes,
     read_response_bytes,
+    transfer_drop_probability,
     write_request_bytes,
 )
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.resources import BandwidthServer, TokenPool
 from repro.sim.stats import Counter, Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class DMAEngine:
@@ -41,10 +46,13 @@ class DMAEngine:
         sim: Simulator,
         config: Optional[PCIeLinkConfig] = None,
         name: str = "pcie0",
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.sim = sim
         self.config = config or PCIeLinkConfig()
         self.name = name
+        #: Optional fault injector: delay spikes and dropped TLPs.
+        self.injector = injector
         bytes_per_ns = self.config.bandwidth / 1e9
         #: NIC -> host direction (read requests, write request TLPs).
         self.tx = BandwidthServer(sim, bytes_per_ns, name=f"{name}.tx")
@@ -78,8 +86,13 @@ class DMAEngine:
         yield self.tags.acquire()
         yield self.nonposted_credits.acquire()
         try:
-            # Request TLP upstream (header only).
-            yield self.tx.transfer(read_request_bytes(nbytes))
+            attempts = 0
+            while True:
+                # Request TLP upstream (header only).
+                yield self.tx.transfer(read_request_bytes(nbytes))
+                if not (yield from self._fault_check(nbytes, attempts)):
+                    break
+                attempts += 1
             # Round trip: root complex -> host DRAM -> completion arrives.
             yield self.sim.timeout(self.config.read_latency.sample())
             # Completion TLP(s) downstream carry the payload.
@@ -91,9 +104,49 @@ class DMAEngine:
         self.counters.add("dma_read_bytes", nbytes)
         self.read_latency_hist.record(self.sim.now - start)
 
+    def _fault_check(
+        self, nbytes: int, attempts: int
+    ) -> Generator[Event, None, bool]:
+        """Fault checks for one transfer attempt.
+
+        Returns True if the attempt's TLPs were dropped and the transfer
+        must be replayed; raises :class:`~repro.errors.FaultInjected` once
+        the retry budget is exhausted.
+        """
+        injector = self.injector
+        if injector is None:
+            return False
+        if injector.dma_delay(self.name, self.sim.now):
+            self.counters.add("fault_delays")
+            yield self.sim.timeout(injector.plan.dma_delay_ns)
+        drop_prob = transfer_drop_probability(
+            injector.plan.dma_drop_prob, nbytes
+        )
+        if not injector.dma_drop(self.name, self.sim.now, prob=drop_prob):
+            return False
+        self.counters.add("fault_drops")
+        if attempts >= injector.plan.dma_max_retries:
+            raise FaultInjected(
+                f"{self.name}: DMA transfer dropped "
+                f"{attempts + 1} times, retry budget exhausted"
+            )
+        self.counters.add("dma_retries")
+        # Completion timeout before the engine notices and replays.
+        yield self.sim.timeout(injector.plan.dma_retry_timeout_ns)
+        return True
+
     def _write(self, nbytes: int) -> Generator[Event, None, None]:
         yield self.posted_credits.acquire()
-        yield self.tx.transfer(write_request_bytes(nbytes))
+        try:
+            attempts = 0
+            while True:
+                yield self.tx.transfer(write_request_bytes(nbytes))
+                if not (yield from self._fault_check(nbytes, attempts)):
+                    break
+                attempts += 1
+        except FaultInjected:
+            self.posted_credits.release()
+            raise
         # The posted credit is consumed until the root complex processes the
         # write and returns a flow-control update (~ fabric RTT later).
         self.sim.process(self._return_posted_credit())
@@ -138,12 +191,16 @@ class MultiLinkDMA:
         sim: Simulator,
         link_count: int = 2,
         config_factory=PCIeLinkConfig.gen3_x8,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if link_count <= 0:
             raise ValueError("link_count must be positive")
         self.sim = sim
         self.links = [
-            DMAEngine(sim, config_factory(seed=i), name=f"pcie{i}")
+            DMAEngine(
+                sim, config_factory(seed=i), name=f"pcie{i}",
+                injector=injector,
+            )
             for i in range(link_count)
         ]
         self._next = 0

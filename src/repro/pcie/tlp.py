@@ -43,6 +43,24 @@ def write_request_bytes(nbytes: int) -> int:
     return nbytes + tlp_count(nbytes) * PCIE_TLP_OVERHEAD
 
 
+def transfer_drop_probability(
+    per_tlp_prob: float, nbytes: int, max_payload: int = MAX_TLP_PAYLOAD
+) -> float:
+    """Chance a whole transfer is hit when each of its TLPs drops i.i.d.
+
+    A transfer of ``nbytes`` needs :func:`tlp_count` TLPs; losing any one
+    of them loses the transfer (the completion never assembles), so the
+    per-transfer probability is ``1 - (1 - p)^n``.  The DMA engine's fault
+    path uses this so large (multi-TLP) transfers are proportionally more
+    exposed than 64-byte ones, as on a real fabric.
+    """
+    if not 0.0 <= per_tlp_prob <= 1.0:
+        raise ValueError(f"per-TLP probability out of range: {per_tlp_prob}")
+    if per_tlp_prob == 0.0:
+        return 0.0
+    return 1.0 - (1.0 - per_tlp_prob) ** tlp_count(nbytes, max_payload)
+
+
 def effective_bandwidth(raw_bandwidth: float, payload: int) -> float:
     """Payload bandwidth after TLP overhead, in the same units as input.
 

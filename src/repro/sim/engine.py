@@ -59,6 +59,12 @@ class Event:
             raise self._exception
         return self._value
 
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None - lets fault-tolerant waiters
+        inspect an outcome without :attr:`value` re-raising it."""
+        return self._exception
+
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully after ``delay`` ns."""
         if self.triggered:
