@@ -2,18 +2,25 @@
 
 from __future__ import annotations
 
+import pathlib
+import re
 from typing import List, Optional, Tuple
 
 from repro.core.config import KVDirectConfig
 from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor, run_closed_loop
 from repro.core.store import KVDirectStore
+from repro.obs import MetricsRegistry
 from repro.sim import Simulator
 from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
 
 #: Scaled-down default sizes: ratios (index ratio, NIC:host = 1:16,
 #: utilization) match the paper; absolute sizes are laptop-scale.
 DEFAULT_MEMORY = 8 << 20
+
+#: Directory benchmark metric registries export to, set by conftest when
+#: pytest runs with ``--export-metrics DIR``; None disables exporting.
+EXPORT_METRICS_DIR: Optional[pathlib.Path] = None
 
 
 def build_store(
@@ -68,5 +75,36 @@ def measure_throughput(
     processor: KVProcessor,
     ops: List[KVOperation],
     concurrency: int = 250,
+    export_name: Optional[str] = None,
 ) -> dict:
-    return run_closed_loop(processor, ops, concurrency=concurrency)
+    """Run the closed loop; optionally export the run's metrics registry.
+
+    With ``export_name`` set and exporting enabled (pytest ran with
+    ``--export-metrics DIR``), the processor's full registry is written to
+    ``DIR/<export_name>.prom`` in Prometheus text format after the run.
+    """
+    stats = run_closed_loop(processor, ops, concurrency=concurrency)
+    if export_name is not None:
+        export_metrics(processor, export_name)
+    return stats
+
+
+def export_metrics(
+    processor: KVProcessor, name: str
+) -> Optional[pathlib.Path]:
+    """Write ``name.prom`` into the export directory, if one is set.
+
+    Returns the written path, or None when exporting is disabled.
+    """
+    if EXPORT_METRICS_DIR is None:
+        return None
+    EXPORT_METRICS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+    path = EXPORT_METRICS_DIR / f"{slug}.prom"
+    path.write_text(build_registry(processor).to_prometheus())
+    return path
+
+
+def build_registry(processor: KVProcessor) -> MetricsRegistry:
+    """The benchmark-standard registry: every processor layer registered."""
+    return processor.register_metrics(MetricsRegistry())

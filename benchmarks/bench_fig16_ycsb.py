@@ -10,8 +10,9 @@ keys); higher PUT ratios are slower (two accesses per PUT).
 
 import pytest
 
+import _common
 from repro.analysis.report import format_series
-from repro.core.processor import KVProcessor, run_closed_loop
+from repro.core.processor import KVProcessor
 from repro.core.store import KVDirectStore
 from repro.sim import Simulator
 from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
@@ -34,8 +35,12 @@ def _throughput(kv_size: int, put_ratio: float, distribution: str) -> float:
     generator = YCSBGenerator(
         keyspace, WorkloadSpec(put_ratio=put_ratio, distribution=distribution)
     )
-    stats = run_closed_loop(
-        processor, generator.operations(OPS), concurrency=250
+    stats = _common.measure_throughput(
+        processor,
+        generator.operations(OPS),
+        concurrency=250,
+        export_name=f"fig16_{distribution}_{kv_size}B_"
+                    f"{int(put_ratio * 100)}put",
     )
     return stats["throughput_mops"]
 

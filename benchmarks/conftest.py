@@ -8,10 +8,34 @@ pytest's capture.
 """
 
 import pathlib
+import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--export-metrics",
+        metavar="DIR",
+        default=None,
+        help="write each benchmark's metrics registry (Prometheus text) "
+             "into DIR",
+    )
+
+
+def pytest_configure(config):
+    target = config.getoption("--export-metrics")
+    if target is not None:
+        # Benchmarks import _common as a top-level module; make sure this
+        # directory resolves it no matter where pytest was launched from.
+        here = str(pathlib.Path(__file__).parent)
+        if here not in sys.path:
+            sys.path.insert(0, here)
+        import _common
+
+        _common.EXPORT_METRICS_DIR = pathlib.Path(target)
 
 
 @pytest.fixture(scope="session")

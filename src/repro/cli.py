@@ -7,6 +7,8 @@
     python -m repro atomics --keys 1 --no-ooo
     python -m repro pcie --payload 64
     python -m repro tune --kv-size 30 --utilization 0.2
+    python -m repro metrics --ops 2000 --format prom
+    python -m repro trace --seed 7 --ops 200
 """
 
 from __future__ import annotations
@@ -18,11 +20,13 @@ from typing import List, Optional
 
 from repro import constants, __version__
 from repro.analysis.report import format_table
+from repro.client.client import KVClient
 from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor, run_closed_loop
 from repro.core.store import KVDirectStore
 from repro.core.tuning import optimal_hash_index_ratio
 from repro.core.vector import FETCH_ADD
+from repro.obs import MetricsRegistry, Tracer
 from repro.pcie import DMAEngine, PCIeLinkConfig
 from repro.sim import Simulator
 from repro.sim.stats import mops
@@ -62,6 +66,44 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("A", "B", "C", "D", "F"),
         help="use a standard YCSB core workload instead of put-ratio/"
              "distribution",
+    )
+    ycsb.add_argument(
+        "--export-metrics", metavar="PATH",
+        help="write the metrics registry (Prometheus text) to PATH",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a short batched workload and export the metrics registry",
+    )
+    metrics.add_argument("--kv-size", type=int, default=13)
+    metrics.add_argument("--put-ratio", type=float, default=0.5)
+    metrics.add_argument("--ops", type=int, default=2000)
+    metrics.add_argument("--corpus", type=int, default=1000)
+    metrics.add_argument("--memory-mib", type=int, default=8)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--format", choices=("json", "prom", "both"), default="both",
+        help="export format(s) to print (default: both)",
+    )
+    metrics.add_argument(
+        "--output", metavar="PATH",
+        help="also write the Prometheus export to PATH",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="emit the deterministic per-op span log of a seeded workload",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--ops", type=int, default=200)
+    trace.add_argument("--corpus", type=int, default=500)
+    trace.add_argument("--kv-size", type=int, default=13)
+    trace.add_argument("--put-ratio", type=float, default=0.5)
+    trace.add_argument("--memory-mib", type=int, default=8)
+    trace.add_argument(
+        "--sample", type=float, default=1.0,
+        help="fraction of ops traced (deterministic hash sampling)",
     )
 
     atomics = sub.add_parser(
@@ -176,7 +218,61 @@ def _cmd_ycsb(args, out) -> int:
         ["cache hit rate", f"{processor.engine.hit_rate():.1%}"],
         ["forwarded ops", str(processor.counters['forwarded'])],
     ]
+    if args.export_metrics:
+        registry = processor.register_metrics()
+        with open(args.export_metrics, "w") as handle:
+            handle.write(registry.to_prometheus())
+        rows.append(["metrics export", args.export_metrics])
     print(format_table("YCSB result", ["metric", "value"], rows), file=out)
+    return 0
+
+
+def _seeded_client_run(args, tracer=None):
+    """One batched client run over a seeded corpus/workload/config.
+
+    Shared by ``repro metrics`` and ``repro trace``: everything (store
+    config, corpus, workload, latency distributions) is derived from
+    ``args.seed``, so two invocations with identical arguments replay the
+    identical simulation.
+    """
+    sim = Simulator()
+    store = KVDirectStore.create(
+        memory_size=args.memory_mib << 20, seed=args.seed
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                        seed=args.seed)
+    for key, value in keyspace.pairs():
+        store.put(key, value)
+    store.reset_measurements()
+    processor = KVProcessor(sim, store, tracer=tracer)
+    client = KVClient(sim, processor, batch_size=16)
+    generator = YCSBGenerator(
+        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+    )
+    stats = client.run(generator.operations(args.ops))
+    return processor, client, stats
+
+
+def _cmd_metrics(args, out) -> int:
+    processor, client, __ = _seeded_client_run(args)
+    registry = processor.register_metrics(MetricsRegistry())
+    client.register_metrics(registry)
+    if args.format in ("json", "both"):
+        print(registry.to_json(), file=out)
+    if args.format in ("prom", "both"):
+        print(registry.to_prometheus(), file=out, end="")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(registry.to_prometheus())
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    tracer = Tracer(sample_rate=args.sample, seed=args.seed)
+    __, __, _stats = _seeded_client_run(args, tracer=tracer)
+    for line in tracer.render_lines():
+        print(line, file=out)
+    print(f"# spans={len(tracer)} digest={tracer.digest()}", file=out)
     return 0
 
 
@@ -306,6 +402,8 @@ def _cmd_replay(args, out) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "ycsb": _cmd_ycsb,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "atomics": _cmd_atomics,
     "pcie": _cmd_pcie,
     "tune": _cmd_tune,

@@ -27,6 +27,7 @@ from repro.core.processor import KVProcessor
 from repro.errors import ConfigurationError, FaultInjected, RetryExhausted
 from repro.network.batching import decode_batch, encode_batch
 from repro.network.rdma import packet_wire_bytes
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.stats import Histogram, mops
 
@@ -124,7 +125,29 @@ class KVClient:
             failed_ops=self.failed_ops,
         )
 
+    def register_metrics(
+        self, registry: MetricsRegistry, prefix: str = "client"
+    ) -> MetricsRegistry:
+        """Register the client's live metrics under ``prefix``."""
+        registry.register(f"{prefix}.latency_ns", self.latencies)
+        registry.register_gauge(f"{prefix}.retries", lambda: self.retries)
+        registry.register_gauge(
+            f"{prefix}.failed_ops", lambda: self.failed_ops
+        )
+        registry.register_gauge(
+            f"{prefix}.request_bytes", lambda: self._request_bytes
+        )
+        registry.register_gauge(
+            f"{prefix}.response_bytes", lambda: self._response_bytes
+        )
+        return registry
+
     # -- internals ---------------------------------------------------------------
+
+    def _trace(self, stage: str, detail: str = "") -> None:
+        tracer = self.processor.tracer
+        if tracer is not None:
+            tracer.emit(-1, stage, detail)
 
     def _run(self, ops: List[KVOperation]) -> Generator:
         batches = [
@@ -172,6 +195,7 @@ class KVClient:
         network = self.processor.network
         payload = encode_batch(batch, checksum=self.checksum)
         wire = packet_wire_bytes(len(payload))
+        self._trace("client.batch.send", f"ops={len(batch)} wire={wire}B")
         # Request flight: serialization on the port plus propagation.  A
         # lost request never reached the server; resend the whole batch.
         yield from self._flight_with_retries(
@@ -199,6 +223,7 @@ class KVClient:
             lambda: network.send(response_wire), response_wire, "response"
         )
         latency = self.sim.now - start
+        self._trace("client.batch.done", f"ops={len(batch)}")
         for __ in batch:
             self.latencies.record(latency)
         callback()
@@ -225,6 +250,9 @@ class KVClient:
                         f"(retry limit {self.retry_limit})"
                     ) from exc
                 self.retries += 1
+                self._trace(
+                    "client.retry", f"{direction} attempt={attempt}"
+                )
                 yield self.sim.timeout(
                     self.retry_backoff_ns * (2 ** (attempt - 1))
                 )

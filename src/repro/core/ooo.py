@@ -137,8 +137,7 @@ class ReservationStation:
             return Admission.EXECUTE
         slot.chain.append(op)
         self.counters.add("queued")
-        if len(slot.chain) > self.counters["max_chain"]:
-            self.counters._counts["max_chain"] = len(slot.chain)
+        self.counters.record_max("max_chain", len(slot.chain))
         return Admission.QUEUED
 
     # -- completion --------------------------------------------------------------

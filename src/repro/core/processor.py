@@ -33,6 +33,8 @@ from repro.errors import KVDirectError, SimulationError
 from repro.memory.dispatcher import LoadDispatcher
 from repro.memory.engine import MemoryAccessEngine
 from repro.network.ethernet import EthernetLink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.pcie.dma import MultiLinkDMA
 from repro.pcie.link import PCIeLinkConfig
 from repro.sim.engine import Event, Simulator
@@ -53,6 +55,7 @@ class KVProcessor:
         store: Optional[KVDirectStore] = None,
         config: Optional[KVDirectConfig] = None,
         hls=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if store is None:
             store = KVDirectStore(config)
@@ -61,6 +64,11 @@ class KVProcessor:
         self.sim = sim
         self.store = store
         self.config = store.config
+        #: Optional per-op tracer, shared with every hardware model so one
+        #: span log covers the whole pipeline an operation crosses.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
         #: Optional :class:`~repro.core.hls.HLSToolchain`: when provided,
         #: vector λs are charged their compiled pipeline cycles
         #: (duplicated lanes keep computation at PCIe rate by design, so
@@ -80,6 +88,7 @@ class KVProcessor:
                 seed=seed + cfg.seed
             ),
             injector=self.injector,
+            tracer=tracer,
         )
         self.nic_dram = NICDram(sim, size=cfg.effective_nic_dram)
         dispatch_ratio = cfg.load_dispatch_ratio if cfg.use_nic_dram else 0.0
@@ -102,13 +111,15 @@ class KVProcessor:
         ):
             ecc = ECCFaultPath(self.injector)
         self.engine = MemoryAccessEngine(
-            sim, self.dma, self.nic_dram, self.dispatcher, cache, ecc=ecc
+            sim, self.dma, self.nic_dram, self.dispatcher, cache, ecc=ecc,
+            tracer=tracer,
         )
         self.network = EthernetLink(
             sim,
             bandwidth=cfg.network_bandwidth,
             rtt_ns=cfg.network_rtt_ns,
             injector=self.injector,
+            tracer=tracer,
         )
 
         # -- pipeline stages ------------------------------------------------
@@ -151,16 +162,31 @@ class KVProcessor:
 
     # -- pipeline -----------------------------------------------------------------
 
+    def _trace(self, seq: int, stage: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(seq, stage, detail)
+
     def _ingress(self, op: KVOperation) -> Generator:
         start = self.sim.now
+        self._trace(op.seq, "ingress", f"op={op.op.name}")
         # Stage 1: the decoder (one op per clock, fully pipelined).
         yield self.decoder.submit()
+        self._trace(op.seq, "decode")
         # Stage 2: reservation-station admission (bounded in-flight ops).
         yield self.inflight.acquire()
         self.counters.add("admitted")
         admission = self.station.admit(op)
         if admission is Admission.EXECUTE:
+            self._trace(
+                op.seq, "station.execute",
+                f"occupancy={self.station.occupancy}",
+            )
             self.sim.process(self._main_pipeline(op))
+        else:
+            self._trace(
+                op.seq, "station.queued",
+                f"occupancy={self.station.occupancy}",
+            )
         # QUEUED ops sleep in the station until forwarding or next_issue
         # resolves them; either path fires their response event.
         self._stamp_on_response(op, start)
@@ -178,6 +204,7 @@ class KVProcessor:
 
     def _main_pipeline(self, op: KVOperation) -> Generator:
         """Execute one op against the table, replaying its DMA traffic."""
+        self._trace(op.seq, "pipeline.start")
         memory = self.store.memory
         memory.start_trace()
         try:
@@ -192,7 +219,9 @@ class KVProcessor:
         replay_start = self.sim.now
         try:
             for kind, addr, size in trace:
-                yield self.engine.access(addr, size, write=(kind == "write"))
+                yield self.engine.access(
+                    addr, size, write=(kind == "write"), seq=op.seq
+                )
             compute_ns = self._compute_time(op, value_after)
             if compute_ns > 0:
                 yield self.sim.timeout(compute_ns)
@@ -207,6 +236,7 @@ class KVProcessor:
             return
         self.memory_time.record(self.sim.now - replay_start)
         self.counters.add("main_pipeline_ops")
+        self._trace(op.seq, "pipeline.done")
         self._complete(op, result, value_after)
 
     def _compute_time(self, op: KVOperation, value_after) -> float:
@@ -266,6 +296,7 @@ class KVProcessor:
             )
         if completion.writeback is not None:
             self.counters.add("writebacks")
+            self._trace(op.seq, "station.writeback")
             self.sim.process(self._main_pipeline(completion.writeback))
         if completion.next_issue is not None:
             self.sim.process(self._main_pipeline(completion.next_issue))
@@ -275,6 +306,7 @@ class KVProcessor:
     ) -> Generator:
         yield self.forward_engine.submit()
         self.counters.add("forwarded")
+        self._trace(op.seq, "station.forwarded")
         self._respond(op, result)
 
     def _fail_op(self, op: KVOperation, exc: KVDirectError) -> None:
@@ -288,6 +320,7 @@ class KVProcessor:
         dependents ``None`` would forward stale data.
         """
         self.counters.add("failed_ops")
+        self._trace(op.seq, "failed", type(exc).__name__)
         value_after = self.store.table.get(op.key)
         completion = self.station.complete(op, value_after)
         if op.seq >= 0:
@@ -309,9 +342,55 @@ class KVProcessor:
         if event is None:
             raise SimulationError("response for unknown operation")
         self.inflight.release()
+        self._trace(op.seq, "complete", f"ok={result.ok}")
         event.succeed(result)
 
     # -- measurement ------------------------------------------------------------------
+
+    def register_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Register every layer's live metric objects under one registry.
+
+        Hierarchical names follow ``docs/OBSERVABILITY.md``: ``processor``,
+        ``station``, ``mem``, ``pcie.<link>``, ``dram.nic`` / ``dram.cache``,
+        ``eth``, ``slab``, plus ``faults`` / ``dram.ecc`` / ``trace`` when
+        those subsystems are active.  Returns the registry for chaining.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.register("processor", self.counters)
+        registry.register("processor.latency_ns", self.latencies)
+        registry.register("processor.memory_time_ns", self.memory_time)
+        registry.register_gauge(
+            "processor.completed_ops", lambda: self.completed
+        )
+        registry.register_gauge(
+            "processor.throughput_mops", self.throughput_mops
+        )
+        registry.register("station", self.station.counters)
+        registry.register_gauge(
+            "station.occupancy", lambda: self.station.occupancy
+        )
+        registry.register_gauge("station.busy_slots", self.station.busy_slots)
+        for link in self.dma.links:
+            registry.register(f"pcie.{link.name}", link.counters)
+            registry.register(
+                f"pcie.{link.name}.read_latency_ns", link.read_latency_hist
+            )
+        registry.register("mem", self.engine.counters)
+        registry.register_gauge("mem.cache_hit_rate", self.engine.hit_rate)
+        registry.register("dram.nic", self.nic_dram.counters)
+        if self.cache is not None:
+            registry.register("dram.cache", self.cache.stats)
+        if self.engine.ecc is not None:
+            registry.register("dram.ecc", self.engine.ecc.counters)
+        registry.register("eth", self.network.counters)
+        registry.register("slab", self.store.allocator.counters)
+        if self.injector is not None:
+            registry.register("faults", self.injector.counters)
+        if self.tracer is not None:
+            registry.register("trace", self.tracer.counters)
+        return registry
 
     def throughput_mops(self) -> float:
         """Completed client operations per simulated microsecond."""

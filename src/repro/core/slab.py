@@ -93,6 +93,7 @@ class SlabAllocator:
         self.counters.add("allocs")
         addr = stack.pop()
         self._live[addr] = class_index
+        self.counters.record_max("live_peak", len(self._live))
         return addr
 
     def free(self, addr: int, class_index: int) -> None:
@@ -123,6 +124,7 @@ class SlabAllocator:
         stack = self._stacks[class_index]
         stack.append(addr)
         self.counters.add("frees")
+        self.counters.record_max("stack_peak", len(stack))
         if len(stack) > self.stack_capacity:
             self._sync_to_host(class_index)
 

@@ -59,6 +59,15 @@ class CacheStats:
         self.evictions = 0
         self.writebacks = 0
 
+    def snapshot(self) -> dict:
+        """Counter-style snapshot, registrable alongside Counter bags."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "

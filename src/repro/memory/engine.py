@@ -12,15 +12,19 @@ load dispatcher to either the NIC DRAM (cacheable lines) or PCIe DMA
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.constants import CACHE_LINE_SIZE
 from repro.dram.cache import DramCache, ECCFaultPath
+from repro.dram.hamming import DecodeStatus
 from repro.dram.nic import NICDram
 from repro.memory.dispatcher import LoadDispatcher
 from repro.pcie.dma import MultiLinkDMA
 from repro.sim.engine import Process, Simulator
 from repro.sim.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class MemoryAccessEngine:
@@ -35,6 +39,7 @@ class MemoryAccessEngine:
         cache: Optional[DramCache] = None,
         line_size: int = CACHE_LINE_SIZE,
         ecc: Optional[ECCFaultPath] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.sim = sim
         self.dma = dma
@@ -45,13 +50,24 @@ class MemoryAccessEngine:
         #: Optional ECC fault path: injected bit flips on cached-line reads
         #: run through the real SEC-DED codec (corrected or detected).
         self.ecc = ecc
+        #: Optional per-op tracer: routing decisions, hits/fills, ECC.
+        self.tracer = tracer
         self.counters = Counter()
 
-    def access(self, addr: int, size: int, write: bool = False) -> Process:
-        """Perform a timed access; completes when all its traffic drains."""
-        return self.sim.process(self._access(addr, size, write))
+    def access(
+        self, addr: int, size: int, write: bool = False, seq: int = -1
+    ) -> Process:
+        """Perform a timed access; completes when all its traffic drains.
 
-    def _access(self, addr: int, size: int, write: bool) -> Generator:
+        ``seq`` attributes the access to a client operation for tracing.
+        """
+        return self.sim.process(self._access(addr, size, write, seq))
+
+    def _trace(self, seq: int, stage: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(seq, stage, detail)
+
+    def _access(self, addr: int, size: int, write: bool, seq: int) -> Generator:
         if size <= 0:
             return
         kind = "writes" if write else "reads"
@@ -68,40 +84,52 @@ class MemoryAccessEngine:
             if self.cache is not None and self.dispatcher.is_cacheable(
                 line_addr
             ):
+                self._trace(seq, "mem.route", f"line={line} dram")
                 pending.append(
-                    self.sim.process(self._cached_line(line, write, full))
+                    self.sim.process(self._cached_line(line, write, full, seq))
                 )
             else:
                 self.counters.add("pcie_direct")
+                self._trace(seq, "mem.route", f"line={line} pcie")
                 if write:
-                    pending.append(self.dma.write(span))
+                    pending.append(self.dma.write(span, seq))
                 else:
-                    pending.append(self.dma.read(span))
+                    pending.append(self.dma.read(span, seq))
         if pending:
             yield self.sim.all_of(pending)
 
-    def _cached_line(self, line: int, write: bool, full: bool) -> Generator:
+    def _cached_line(
+        self, line: int, write: bool, full: bool, seq: int = -1
+    ) -> Generator:
         cache = self.cache
         assert cache is not None
         result = cache.access(line, write, full_line=full)
         if result.hit:
             self.counters.add("cache_hits")
+            self._trace(seq, "dram.hit", f"line={line}")
             if not write and self.ecc is not None:
                 # A read serves data out of NIC DRAM: one word of the line
                 # passes through the SEC-DED path (may raise
                 # CorruptionDetected on an injected double-bit error).
-                self.ecc.read_word(self.sim.now)
+                status = self.ecc.read_word(self.sim.now)
+                if status is DecodeStatus.CORRECTED:
+                    self._trace(seq, "dram.ecc_corrected", f"line={line}")
             yield self.nic_dram.access(self.line_size, write=write)
             return
         self.counters.add("cache_misses")
+        self._trace(seq, "dram.miss", f"line={line}")
         # Dirty eviction: read old line from NIC DRAM, write back over PCIe.
         if result.writeback_line is not None:
             self.counters.add("writebacks")
+            self._trace(
+                seq, "dram.writeback", f"line={result.writeback_line}"
+            )
             yield self.nic_dram.access(self.line_size, write=False)
-            yield self.dma.write(self.line_size)
+            yield self.dma.write(self.line_size, seq)
         if result.needs_fill:
             self.counters.add("fills")
-            yield self.dma.read(self.line_size)
+            self._trace(seq, "dram.fill", f"line={line}")
+            yield self.dma.read(self.line_size, seq)
         # Install the (new or fetched) line in NIC DRAM.
         yield self.nic_dram.access(self.line_size, write=True)
 

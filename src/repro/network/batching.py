@@ -95,6 +95,7 @@ class BatchEncoder:
     def add(self, op: KVOperation) -> None:
         if self._count >= 0xFFFF:
             raise ProtocolError("batch op count overflow")
+        self._validate(op)
         flags = 0
         header = bytearray()
         klen = len(op.key)
@@ -126,6 +127,36 @@ class BatchEncoder:
         if body:
             self._parts.append(bytes(body))
         self._count += 1
+
+    @staticmethod
+    def _validate(op: KVOperation) -> None:
+        """Check the op fits the wire format's fixed-width length fields.
+
+        Validated up front so an oversized op raises a clear
+        :class:`~repro.errors.ProtocolError` (not an opaque ``ValueError``
+        from ``bytearray.append``) and leaves the encoder state untouched.
+        """
+        if len(op.key) > 0xFF:
+            raise ProtocolError(
+                f"key length {len(op.key)} exceeds the wire format's "
+                f"u8 key-length field (max 255)"
+            )
+        if op.carries_value and op.value is not None and len(op.value) > 0xFFFF:
+            raise ProtocolError(
+                f"value length {len(op.value)} exceeds the wire format's "
+                f"u16 value-length field (max 65535)"
+            )
+        if op.carries_func:
+            if not 0 <= op.func_id <= 0xFF:
+                raise ProtocolError(
+                    f"func id {op.func_id} exceeds the wire format's "
+                    f"u8 func-id field"
+                )
+            if len(op.param) > 0xFFFF:
+                raise ProtocolError(
+                    f"param length {len(op.param)} exceeds the wire "
+                    f"format's u16 param-length field (max 65535)"
+                )
 
     def finish(self) -> bytes:
         """Return the encoded batch payload."""

@@ -20,6 +20,7 @@ from repro.sim.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.obs.tracer import Tracer
 
 
 class EthernetLink:
@@ -36,6 +37,7 @@ class EthernetLink:
         bandwidth: float = constants.NETWORK_BANDWIDTH,
         rtt_ns: float = constants.NETWORK_RTT_NS,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ConfigurationError("network bandwidth must be positive")
@@ -48,7 +50,14 @@ class EthernetLink:
         self.egress = BandwidthServer(sim, rate, name="eth.tx")
         #: Optional fault injector: loss / reorder / duplication per flight.
         self.injector = injector
+        #: Optional tracer: flight delivery and fabric-misbehaviour spans
+        #: (emitted with seq -1, packets carry whole batches).
+        self.tracer = tracer
         self.counters = Counter()
+
+    def _trace(self, stage: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(-1, stage, detail)
 
     def receive(self, nbytes: int) -> Process:
         """Client -> server transfer; completes when fully received."""
@@ -70,17 +79,21 @@ class EthernetLink:
             if injector.packet_duplicate(site, self.sim.now):
                 # The duplicate serializes too; the receiver drops it.
                 self.counters.add(f"{direction}_duplicates")
+                self._trace(f"eth.{direction}.dup", f"{nbytes}B")
                 yield channel.transfer(nbytes)
             if injector.packet_reorder(site, self.sim.now):
                 # Held in the fabric long enough for successors to pass it.
                 self.counters.add(f"{direction}_reordered")
+                self._trace(f"eth.{direction}.reorder", f"{nbytes}B")
                 yield self.sim.timeout(injector.plan.packet_reorder_delay_ns)
             if injector.packet_loss(site, self.sim.now):
                 self.counters.add(f"{direction}_lost")
+                self._trace(f"eth.{direction}.lost", f"{nbytes}B")
                 raise FaultInjected(
                     f"{direction} packet ({nbytes} B) lost in the fabric"
                 )
         yield self.sim.timeout(self.rtt_ns / 2.0)
+        self._trace(f"eth.{direction}", f"{nbytes}B")
 
     def snapshot(self) -> dict:
         return self.counters.snapshot()

@@ -1,0 +1,22 @@
+"""Unified observability: metrics registry + per-operation tracing.
+
+Every hardware model in the reproduction keeps its own
+:class:`~repro.sim.stats.Counter` / :class:`~repro.sim.stats.Histogram` /
+:class:`~repro.dram.cache.CacheStats` bag.  This package gives them one
+front door:
+
+- :class:`MetricsRegistry` — components register their existing metric
+  objects under hierarchical dotted names (``processor.main_pipeline_ops``,
+  ``pcie.pcie0.dma_reads``, ``dram.cache.hit_rate``); one call exports the
+  whole registry as JSON or Prometheus text.
+- :class:`Tracer` — per-operation, sim-time-stamped spans for every
+  pipeline stage an op crosses, with deterministic hash-based sampling so
+  traces are byte-identical across seeded runs.
+
+See ``docs/OBSERVABILITY.md`` for the naming scheme and span schema.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["MetricsRegistry", "Span", "Tracer"]

@@ -36,6 +36,7 @@ from repro.sim.stats import Counter, Histogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.obs.tracer import Tracer
 
 
 class DMAEngine:
@@ -47,12 +48,15 @@ class DMAEngine:
         config: Optional[PCIeLinkConfig] = None,
         name: str = "pcie0",
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.sim = sim
         self.config = config or PCIeLinkConfig()
         self.name = name
         #: Optional fault injector: delay spikes and dropped TLPs.
         self.injector = injector
+        #: Optional per-op tracer: spans for transfers, retries, delays.
+        self.tracer = tracer
         bytes_per_ns = self.config.bandwidth / 1e9
         #: NIC -> host direction (read requests, write request TLPs).
         self.tx = BandwidthServer(sim, bytes_per_ns, name=f"{name}.tx")
@@ -70,18 +74,23 @@ class DMAEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def read(self, nbytes: int) -> Process:
+    def read(self, nbytes: int, seq: int = -1) -> Process:
         """Issue a DMA read; the returned process completes with the data
-        available on the NIC."""
-        return self.sim.process(self._read(nbytes))
+        available on the NIC.  ``seq`` is the client sequence of the op
+        this transfer serves (for tracing; -1 when unattributed)."""
+        return self.sim.process(self._read(nbytes, seq))
 
-    def write(self, nbytes: int) -> Process:
+    def write(self, nbytes: int, seq: int = -1) -> Process:
         """Issue a posted DMA write; completes once the TLP is serialized."""
-        return self.sim.process(self._write(nbytes))
+        return self.sim.process(self._write(nbytes, seq))
 
     # -- internals ----------------------------------------------------------
 
-    def _read(self, nbytes: int) -> Generator[Event, None, None]:
+    def _trace(self, seq: int, stage: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(seq, stage, detail)
+
+    def _read(self, nbytes: int, seq: int = -1) -> Generator[Event, None, None]:
         start = self.sim.now
         yield self.tags.acquire()
         yield self.nonposted_credits.acquire()
@@ -90,7 +99,7 @@ class DMAEngine:
             while True:
                 # Request TLP upstream (header only).
                 yield self.tx.transfer(read_request_bytes(nbytes))
-                if not (yield from self._fault_check(nbytes, attempts)):
+                if not (yield from self._fault_check(nbytes, attempts, seq)):
                     break
                 attempts += 1
             # Round trip: root complex -> host DRAM -> completion arrives.
@@ -103,9 +112,10 @@ class DMAEngine:
         self.counters.add("dma_reads")
         self.counters.add("dma_read_bytes", nbytes)
         self.read_latency_hist.record(self.sim.now - start)
+        self._trace(seq, "pcie.read", f"{self.name} {nbytes}B")
 
     def _fault_check(
-        self, nbytes: int, attempts: int
+        self, nbytes: int, attempts: int, seq: int = -1
     ) -> Generator[Event, None, bool]:
         """Fault checks for one transfer attempt.
 
@@ -118,6 +128,7 @@ class DMAEngine:
             return False
         if injector.dma_delay(self.name, self.sim.now):
             self.counters.add("fault_delays")
+            self._trace(seq, "pcie.fault_delay", self.name)
             yield self.sim.timeout(injector.plan.dma_delay_ns)
         drop_prob = transfer_drop_probability(
             injector.plan.dma_drop_prob, nbytes
@@ -131,17 +142,18 @@ class DMAEngine:
                 f"{attempts + 1} times, retry budget exhausted"
             )
         self.counters.add("dma_retries")
+        self._trace(seq, "pcie.retry", f"{self.name} attempt={attempts + 1}")
         # Completion timeout before the engine notices and replays.
         yield self.sim.timeout(injector.plan.dma_retry_timeout_ns)
         return True
 
-    def _write(self, nbytes: int) -> Generator[Event, None, None]:
+    def _write(self, nbytes: int, seq: int = -1) -> Generator[Event, None, None]:
         yield self.posted_credits.acquire()
         try:
             attempts = 0
             while True:
                 yield self.tx.transfer(write_request_bytes(nbytes))
-                if not (yield from self._fault_check(nbytes, attempts)):
+                if not (yield from self._fault_check(nbytes, attempts, seq)):
                     break
                 attempts += 1
         except FaultInjected:
@@ -152,6 +164,7 @@ class DMAEngine:
         self.sim.process(self._return_posted_credit())
         self.counters.add("dma_writes")
         self.counters.add("dma_write_bytes", nbytes)
+        self._trace(seq, "pcie.write", f"{self.name} {nbytes}B")
 
     def _return_posted_credit(self) -> Generator[Event, None, None]:
         yield self.sim.timeout(self.config.fabric_rtt_ns)
@@ -192,6 +205,7 @@ class MultiLinkDMA:
         link_count: int = 2,
         config_factory=PCIeLinkConfig.gen3_x8,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if link_count <= 0:
             raise ValueError("link_count must be positive")
@@ -199,7 +213,7 @@ class MultiLinkDMA:
         self.links = [
             DMAEngine(
                 sim, config_factory(seed=i), name=f"pcie{i}",
-                injector=injector,
+                injector=injector, tracer=tracer,
             )
             for i in range(link_count)
         ]
@@ -210,11 +224,11 @@ class MultiLinkDMA:
         self._next = (self._next + 1) % len(self.links)
         return link
 
-    def read(self, nbytes: int) -> Process:
-        return self._pick().read(nbytes)
+    def read(self, nbytes: int, seq: int = -1) -> Process:
+        return self._pick().read(nbytes, seq)
 
-    def write(self, nbytes: int) -> Process:
-        return self._pick().write(nbytes)
+    def write(self, nbytes: int, seq: int = -1) -> Process:
+        return self._pick().write(nbytes, seq)
 
     @property
     def reads(self) -> int:

@@ -20,6 +20,16 @@ class Counter:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + amount
 
+    def record_max(self, name: str, value: int) -> None:
+        """High-watermark gauge: keep the largest value ever recorded.
+
+        For quantities that are levels rather than event counts (queue
+        depths, chain lengths, live allocations) where the interesting
+        number is the peak.
+        """
+        if value > self._counts.get(name, 0):
+            self._counts[name] = value
+
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 
@@ -149,10 +159,14 @@ class Histogram:
         return sum(self._samples) / len(self._samples)
 
     def min(self) -> float:
+        if not self._samples:
+            raise ValueError("min of empty histogram")
         self._ensure_sorted()
         return self._samples[0]
 
     def max(self) -> float:
+        if not self._samples:
+            raise ValueError("max of empty histogram")
         self._ensure_sorted()
         return self._samples[-1]
 

@@ -139,3 +139,70 @@ class TestStandardWorkloads:
         )
         assert code == 0
         assert "YCSB-D" in output
+
+
+class TestMetrics:
+    _FAST = ("--ops", "200", "--corpus", "150", "--memory-mib", "4")
+
+    def test_json_export_covers_the_stack(self):
+        import json
+
+        code, output = run_cli("metrics", "--format", "json", *self._FAST)
+        assert code == 0
+        flat = json.loads(output)
+        prefixes = {name.split(".")[0] for name in flat}
+        assert {"processor", "station", "pcie", "dram", "eth",
+                "client"} <= prefixes
+
+    def test_prom_export_and_output_file(self, tmp_path):
+        path = str(tmp_path / "m.prom")
+        code, output = run_cli(
+            "metrics", "--format", "prom", "--output", path, *self._FAST
+        )
+        assert code == 0
+        assert output.startswith("# TYPE kvdirect_")
+        with open(path) as handle:
+            assert handle.read() == output
+
+    def test_ycsb_export_metrics(self, tmp_path):
+        path = str(tmp_path / "ycsb.prom")
+        code, output = run_cli(
+            "ycsb", "--ops", "200", "--corpus", "150", "--memory-mib", "4",
+            "--export-metrics", path,
+        )
+        assert code == 0
+        assert "metrics export" in output
+        with open(path) as handle:
+            assert "# TYPE kvdirect_processor counter" in handle.read()
+
+
+class TestTrace:
+    _FAST = ("--ops", "120", "--corpus", "100", "--memory-mib", "4")
+
+    def test_seeded_runs_byte_identical(self):
+        code_a, first = run_cli("trace", "--seed", "7", *self._FAST)
+        code_b, second = run_cli("trace", "--seed", "7", *self._FAST)
+        assert code_a == code_b == 0
+        assert first == second
+        assert "digest=" in first
+
+    def test_sampling_zero_emits_summary_only(self):
+        code, output = run_cli(
+            "trace", "--sample", "0.0", *self._FAST
+        )
+        assert code == 0
+        assert output.startswith("# spans=0 ")
+
+    def test_span_lines_are_well_formed(self):
+        import re
+
+        code, output = run_cli("trace", "--seed", "3", *self._FAST)
+        assert code == 0
+        lines = output.splitlines()
+        assert len(lines) > 10
+        span_re = re.compile(
+            r"^\d{6} seq=-?\d+ at=-?\d+\.\d{3} [a-z]"
+        )
+        for line in lines[:-1]:
+            assert span_re.match(line), line
+        assert lines[-1].startswith("# spans=")

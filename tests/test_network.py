@@ -136,6 +136,59 @@ class TestBatchCodec:
         with pytest.raises(ProtocolError):
             decode_batch(b"\x01\x00\x0f\x01k")
 
+    def test_max_key_length_roundtrips(self):
+        """255 B is the u8 key-length field's ceiling and must encode."""
+        ops = [
+            KVOperation.put(b"k" * 255, b"v"),
+            KVOperation.get(b"g" * 255),
+        ]
+        assert decode_batch(encode_batch(ops)) == ops
+
+    @staticmethod
+    def _forged(optype, key, value=None, func_id=0, param=b"", seq=0):
+        """An op that skipped dataclass validation (buggy caller / future
+        op type): the wire encoder must still enforce its field widths."""
+        op = object.__new__(KVOperation)
+        for name, val in (
+            ("op", optype), ("key", key), ("value", value),
+            ("func_id", func_id), ("param", param), ("seq", seq),
+        ):
+            object.__setattr__(op, name, val)
+        return op
+
+    def test_oversized_key_raises_protocol_error(self):
+        """Regression: a 256 B key used to surface as an opaque
+        ValueError from bytearray.append deep inside the encoder."""
+        encoder = BatchEncoder()
+        with pytest.raises(ProtocolError, match="255"):
+            encoder.add(self._forged(OpType.GET, b"k" * 256))
+        # The failed add left no partial op behind.
+        assert encoder.count == 0
+        assert decode_batch(encoder.finish()) == []
+
+    def test_oversized_value_raises_protocol_error(self):
+        encoder = BatchEncoder()
+        with pytest.raises(ProtocolError, match="65535"):
+            encoder.add(
+                self._forged(OpType.PUT, b"k", value=b"v" * 0x10000)
+            )
+        assert encoder.count == 0
+
+    def test_max_value_length_roundtrips(self):
+        ops = [KVOperation.put(b"k", b"v" * 0xFFFF)]
+        assert decode_batch(encode_batch(ops)) == ops
+
+    def test_oversized_param_raises_protocol_error(self):
+        encoder = BatchEncoder()
+        with pytest.raises(ProtocolError, match="param"):
+            encoder.add(
+                self._forged(
+                    OpType.UPDATE_SCALAR, b"k", func_id=1,
+                    param=b"p" * 0x10000,
+                )
+            )
+        assert encoder.count == 0
+
     def test_encoder_incremental_size(self):
         encoder = BatchEncoder()
         assert encoder.payload_size() == 2

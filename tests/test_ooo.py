@@ -230,3 +230,17 @@ class TestAccounting:
         for __ in range(7):
             station.admit(KVOperation.get(b"a"))
         assert station.counters["max_chain"] == 7
+
+    def test_max_chain_is_a_watermark(self):
+        """Regression: admit used to poke Counter._counts directly; the
+        record_max API must keep the high watermark once chains drain."""
+        station = make_station()
+        ops = [KVOperation.get(b"a") for __ in range(5)]
+        for op in ops:
+            station.admit(op)
+        assert station.counters["max_chain"] == 4
+        # Drain the chain, then build a shorter one: watermark holds.
+        station.complete(ops[0], b"v")
+        station.admit(KVOperation.get(b"b"))
+        station.admit(KVOperation.get(b"b"))
+        assert station.counters["max_chain"] == 4

@@ -37,6 +37,21 @@ class TestCounter:
         assert snap == {"x": 1}
         assert counter.get("x") == 2
 
+    def test_record_max_keeps_high_watermark(self):
+        counter = Counter()
+        counter.record_max("peak", 3)
+        counter.record_max("peak", 7)
+        counter.record_max("peak", 5)
+        assert counter["peak"] == 7
+
+    def test_record_max_on_fresh_key(self):
+        counter = Counter()
+        counter.record_max("peak", 2)
+        assert counter["peak"] == 2
+        # Values at or below the floor never regress the watermark.
+        counter.record_max("peak", 0)
+        assert counter["peak"] == 2
+
 
 class TestRunningStats:
     def test_mean_min_max(self):
@@ -114,6 +129,16 @@ class TestHistogram:
             hist.percentile(50)
         with pytest.raises(ValueError):
             hist.mean()
+
+    def test_empty_min_max_raise_value_error(self):
+        # Regression: these used to leak a bare IndexError from the
+        # underlying list instead of the ValueError the rest of the
+        # empty-histogram surface raises.
+        hist = Histogram()
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.min()
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.max()
 
     def test_out_of_range_pct(self):
         hist = Histogram()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (format 0.0.4) file.
+
+Used by CI to validate the output of ``repro metrics`` and the
+``--export-metrics`` benchmark option.  Checks, line by line:
+
+* ``# TYPE <name> <kind>`` headers are well-formed, use a known kind, and
+  never repeat a metric family;
+* sample lines parse as ``name[{labels}] value`` with a valid metric
+  name, valid label syntax, and a finite float value;
+* every sample belongs to the family declared by the preceding TYPE
+  header (allowing the summary/histogram ``_sum``/``_count``/``_bucket``
+  suffixes);
+* the file is non-empty and contains at least one sample.
+
+Exits 0 when clean; prints every violation and exits 1 otherwise.
+
+Usage::
+
+    python tools/check_prom.py metrics.prom [more.prom ...]
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import List
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+_TYPE_RE = re.compile(rf"^# TYPE ({METRIC_NAME}) ([a-z]+)$")
+_SAMPLE_RE = re.compile(
+    rf"^({METRIC_NAME})(\{{[^}}]*\}})? (\S+)(?: \d+)?$"
+)
+_LABEL_RE = re.compile(rf'^{LABEL_NAME}="(?:[^"\\]|\\.)*"$')
+
+KNOWN_KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+#: Suffixes a sample may add to its family name, per kind.
+KIND_SUFFIXES = {
+    "summary": ("", "_sum", "_count"),
+    "histogram": ("", "_bucket", "_sum", "_count"),
+}
+
+
+def lint(path: str) -> List[str]:
+    """All violations in one exposition file (empty list = clean)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    errors: List[str] = []
+    declared: set = set()
+    family = None  # (name, kind) of the active TYPE header
+    samples = 0
+
+    def err(lineno: int, message: str) -> None:
+        errors.append(f"{path}:{lineno}: {message}")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not line.startswith(("# TYPE ", "# HELP ")):
+                # Bare comments are legal; nothing to check.
+                continue
+            if line.startswith("# HELP "):
+                continue
+            match = _TYPE_RE.match(line)
+            if match is None:
+                err(lineno, f"malformed TYPE header: {line!r}")
+                family = None
+                continue
+            name, kind = match.groups()
+            if kind not in KNOWN_KINDS:
+                err(lineno, f"unknown metric kind {kind!r} for {name}")
+            if name in declared:
+                err(lineno, f"duplicate TYPE declaration for {name}")
+            declared.add(name)
+            family = (name, kind)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            err(lineno, f"malformed sample line: {line!r}")
+            continue
+        name, labels, value = match.groups()
+        samples += 1
+        if labels is not None:
+            for label in labels[1:-1].split(","):
+                if label and not _LABEL_RE.match(label.strip()):
+                    err(lineno, f"malformed label {label.strip()!r}")
+        try:
+            parsed = float(value)
+        except ValueError:
+            err(lineno, f"non-numeric sample value {value!r}")
+        else:
+            if math.isnan(parsed) or math.isinf(parsed):
+                err(lineno, f"non-finite sample value {value!r}")
+        if family is None:
+            err(lineno, f"sample {name} precedes any TYPE header")
+            continue
+        base, kind = family
+        suffixes = KIND_SUFFIXES.get(kind, ("",))
+        if not any(
+            name == base + s or (s == "" and name.startswith(base + "_"))
+            for s in suffixes
+        ) and not name.startswith(base):
+            err(lineno, f"sample {name} outside family {base}")
+    if samples == 0:
+        errors.append(f"{path}: no samples found")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_prom.py FILE [FILE ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        errors = lint(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
