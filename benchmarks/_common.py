@@ -96,12 +96,23 @@ def export_metrics(
 
     Returns the written path, or None when exporting is disabled.
     """
+    return export_registry(build_registry(processor), name)
+
+
+def export_registry(
+    registry: MetricsRegistry, name: str
+) -> Optional[pathlib.Path]:
+    """Write an already-built registry as ``name.prom``, if exporting.
+
+    For benchmarks whose runners build the processor internally (e.g. the
+    overload sweep) and hand back a pre-registered registry instead.
+    """
     if EXPORT_METRICS_DIR is None:
         return None
     EXPORT_METRICS_DIR.mkdir(parents=True, exist_ok=True)
     slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
     path = EXPORT_METRICS_DIR / f"{slug}.prom"
-    path.write_text(build_registry(processor).to_prometheus())
+    path.write_text(registry.to_prometheus())
     return path
 
 

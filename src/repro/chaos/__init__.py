@@ -1,0 +1,19 @@
+"""Chaos-soak and overload-sweep harnesses (see ``docs/ROBUSTNESS.md``).
+
+:mod:`repro.chaos.soak` drives the full timed stack through seeded
+overload bursts with faults injected, checking differential correctness
+and accounting invariants throughout; :mod:`repro.chaos.overload` sweeps
+offered load to produce the graceful-degradation curves.
+"""
+
+from repro.chaos.overload import probe_capacity, run_point, sweep_offered_load
+from repro.chaos.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "SoakConfig",
+    "SoakReport",
+    "probe_capacity",
+    "run_point",
+    "run_soak",
+    "sweep_offered_load",
+]

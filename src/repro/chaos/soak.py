@@ -1,0 +1,392 @@
+"""Chaos soak: faults + overload bursts + differential checking, seeded.
+
+One soak run drives the full timed stack (decoder, admission, station,
+memory engine) with per-key driver processes whose arrival schedule
+alternates calm phases with seeded **overload bursts** at 2-4x the probed
+capacity, while a :class:`~repro.faults.plan.FaultPlan` injects hardware
+misbehaviour underneath.  Throughout the run every response is checked
+against an independent dict-based reference model, and failed operations
+are reconciled against the store's actual state (a fault after functional
+execution means the op *was* applied; one before means it was not - both
+are legal, anything else is a divergence).
+
+Invariants (:meth:`SoakReport.check`):
+
+- **accounting** - every submitted op is completed, shed, expired, or
+  failed; nothing is lost or double-counted,
+- **zero divergence** - the store never disagrees with the model,
+- **goodput floor** - completed / submitted stays above the configured
+  floor even with bursts and faults active,
+- **per-key ordering** - each driver submits its next op only after the
+  previous one settled, and the model applies them in that order; the
+  final store == model comparison would catch any reordering,
+- **determinism** - :meth:`SoakReport.digest` (schedule + outcomes +
+  fault log) is byte-identical across runs of the same config.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.admission import OverloadPolicy
+from repro.core.operations import KVOperation, OpType
+from repro.core.processor import KVProcessor
+from repro.core.store import KVDirectStore
+from repro.core.vector import FETCH_ADD
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    KVDirectError,
+    ServerBusy,
+)
+from repro.faults.plan import FaultPlan
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+
+_MASK64 = (1 << 64) - 1
+_Q = struct.Struct("<q")
+
+
+def _wrap64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+class _RefModel:
+    """Reference semantics over a plain dict, re-derived with struct.
+
+    Independent of the store's value machinery on purpose (the test
+    suite's differential model follows the same discipline): a bug shared
+    between the store and its helpers cannot hide behind itself.
+    """
+
+    def __init__(self) -> None:
+        self.state: Dict[bytes, bytes] = {}
+
+    def apply(self, op: KVOperation) -> Tuple[bool, Optional[bytes]]:
+        if op.op is OpType.GET:
+            value = self.state.get(op.key)
+            return value is not None, value
+        if op.op is OpType.PUT:
+            self.state[op.key] = op.value
+            return True, None
+        if op.op is OpType.DELETE:
+            return self.state.pop(op.key, None) is not None, None
+        # UPDATE_SCALAR / fetch-add on the first 8-byte element.
+        current = self.state.get(op.key)
+        if current is None:
+            return False, None
+        (delta,) = _Q.unpack(op.param)
+        (old,) = _Q.unpack(current[:8])
+        self.state[op.key] = _Q.pack(_wrap64(old + delta)) + current[8:]
+        return True, current[:8]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything one chaos-soak run depends on; fully seed-determined."""
+
+    seed: int = 0
+    #: Independent per-key driver chains (also the key-space size).
+    num_keys: int = 16
+    #: Operations each driver submits, strictly in order.
+    ops_per_key: int = 40
+    memory_size: int = 4 << 20
+    #: Station capacity during the soak.  Deliberately small relative to
+    #: ``num_keys`` so the 2-4x bursts genuinely overflow admission - the
+    #: paper-scale 256-token station would absorb a 16-driver burst
+    #: without ever shedding.
+    max_inflight: int = 8
+    #: Overload policy under test; ``None`` soaks the blocking ingress.
+    overload: Optional[OverloadPolicy] = OverloadPolicy(queue_depth=4)
+    #: Hardware faults active underneath the overload.
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-op deadline budget stamped at submission (``None`` = none).
+    deadline_budget_ns: Optional[float] = None
+    #: Arrival-schedule shape: ``phase_ops`` per phase, calm phases at
+    #: ``calm_multiplier`` x capacity, burst phases drawn uniformly from
+    #: ``[burst_low, burst_high]`` x capacity.
+    phase_ops: int = 10
+    calm_multiplier: float = 0.8
+    burst_low: float = 2.0
+    burst_high: float = 4.0
+    #: Invariant: completed / submitted must stay at or above this.
+    goodput_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_keys <= 0 or self.ops_per_key <= 0:
+            raise ConfigurationError("soak needs keys and ops")
+        if self.phase_ops <= 0:
+            raise ConfigurationError("phase length must be positive")
+        if not 0.0 < self.calm_multiplier:
+            raise ConfigurationError("calm multiplier must be positive")
+        if not 0.0 < self.burst_low <= self.burst_high:
+            raise ConfigurationError(
+                f"burst range must satisfy 0 < low <= high: "
+                f"[{self.burst_low}, {self.burst_high}]"
+            )
+        if not 0.0 <= self.goodput_floor <= 1.0:
+            raise ConfigurationError("goodput floor must be in [0, 1]")
+
+    def with_overrides(self, **kwargs) -> "SoakConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class SoakReport:
+    """Outcome + invariant evidence of one soak run."""
+
+    seed: int
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    expired: int = 0
+    failed: int = 0
+    #: Failed ops whose effect *had* been applied before the fault.
+    reconciled_applied: int = 0
+    elapsed_ns: float = 0.0
+    capacity_mops: float = 0.0
+    faults_fired: int = 0
+    final_state_matches: bool = False
+    divergences: List[str] = field(default_factory=list)
+    digest: str = ""
+    goodput_floor: float = 0.0
+
+    @property
+    def goodput(self) -> float:
+        return self.completed / self.submitted if self.submitted else 0.0
+
+    def check(self) -> List[str]:
+        """Violated invariants (empty list = the soak passed)."""
+        problems = list(self.divergences)
+        accounted = self.completed + self.shed + self.expired + self.failed
+        if accounted != self.submitted:
+            problems.append(
+                f"accounting hole: {self.submitted} submitted but "
+                f"{accounted} accounted for"
+            )
+        if not self.final_state_matches:
+            problems.append("final store state diverged from the model")
+        if self.goodput < self.goodput_floor:
+            problems.append(
+                f"goodput {self.goodput:.3f} below the "
+                f"{self.goodput_floor:.3f} floor"
+            )
+        return problems
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "expired": self.expired,
+            "failed": self.failed,
+            "reconciled_applied": self.reconciled_applied,
+            "goodput": round(self.goodput, 6),
+            "goodput_floor": self.goodput_floor,
+            "elapsed_ns": round(self.elapsed_ns, 3),
+            "capacity_mops": round(self.capacity_mops, 6),
+            "faults_fired": self.faults_fired,
+            "final_state_matches": self.final_state_matches,
+            "divergences": list(self.divergences),
+            "digest": self.digest,
+            "ok": not self.check(),
+        }
+
+
+class _Soak:
+    """One run's mutable state; :func:`run_soak` is the public entry."""
+
+    def __init__(self, cfg: SoakConfig, tracer: Optional[Tracer]) -> None:
+        self.cfg = cfg
+        self.store = KVDirectStore.create(
+            memory_size=cfg.memory_size,
+            seed=cfg.seed,
+            max_inflight=cfg.max_inflight,
+            overload=cfg.overload,
+            fault_plan=cfg.fault_plan,
+        )
+        self.sim = Simulator()
+        self.processor = KVProcessor(self.sim, self.store, tracer=tracer)
+        self.model = _RefModel()
+        self.report = SoakReport(
+            seed=cfg.seed, goodput_floor=cfg.goodput_floor
+        )
+        self._hash = hashlib.sha256()
+        self.schedule = self._build_schedule()
+
+    # -- deterministic schedule -------------------------------------------
+
+    def _capacity(self) -> float:
+        """Ops per ns, probed on a clean copy of the same geometry."""
+        from repro.chaos.overload import probe_capacity
+
+        ops_per_ns = probe_capacity(
+            memory_size=self.cfg.memory_size, seed=self.cfg.seed, num_ops=500
+        )
+        self.report.capacity_mops = ops_per_ns * 1e3
+        return ops_per_ns
+
+    def _op_for(self, rng: random.Random, key: bytes, seq: int) -> KVOperation:
+        kind = rng.randrange(10)
+        if kind < 4:
+            return KVOperation.get(key, seq=seq)
+        if kind < 7:
+            nelems = rng.choice((1, 2, 4))
+            value = b"".join(
+                _Q.pack(_wrap64(rng.randrange(-1 << 40, 1 << 40)))
+                for __ in range(nelems)
+            )
+            return KVOperation.put(key, value, seq=seq)
+        if kind < 8:
+            return KVOperation.delete(key, seq=seq)
+        return KVOperation.update(
+            key, FETCH_ADD, _Q.pack(rng.randrange(-1000, 1000)), seq=seq
+        )
+
+    def _build_schedule(self) -> List[List[Tuple[KVOperation, float]]]:
+        """Per-driver (op, arrival gap ns) lists; pure function of config."""
+        cfg = self.cfg
+        capacity = self._capacity()
+        phases = (cfg.ops_per_key + cfg.phase_ops - 1) // cfg.phase_ops
+        phase_rng = random.Random(f"soak:{cfg.seed}:phases")
+        multipliers = [
+            cfg.calm_multiplier
+            if phase % 2 == 0
+            else phase_rng.uniform(cfg.burst_low, cfg.burst_high)
+            for phase in range(phases)
+        ]
+        schedule: List[List[Tuple[KVOperation, float]]] = []
+        for key_idx in range(cfg.num_keys):
+            key = b"soak%04d" % key_idx
+            rng = random.Random(f"soak:{cfg.seed}:key:{key_idx}")
+            driver: List[Tuple[KVOperation, float]] = []
+            for i in range(cfg.ops_per_key):
+                seq = key_idx * cfg.ops_per_key + i
+                op = self._op_for(rng, key, seq)
+                mult = multipliers[i // cfg.phase_ops]
+                # Aggregate offered load = num_keys / gap = mult * capacity.
+                gap = cfg.num_keys / (mult * capacity)
+                driver.append((op, gap))
+                self._hash.update(
+                    f"sched|{key_idx}|{i}|{op.op.name}|{gap!r}\n".encode()
+                )
+            schedule.append(driver)
+        return schedule
+
+    # -- drivers -----------------------------------------------------------
+
+    def _driver(self, key_idx: int):
+        cfg = self.cfg
+        for i, (op, gap) in enumerate(self.schedule[key_idx]):
+            yield self.sim.timeout(gap)
+            deadline = (
+                self.sim.now + cfg.deadline_budget_ns
+                if cfg.deadline_budget_ns is not None
+                else None
+            )
+            event = self.processor.submit(op, deadline_ns=deadline)
+            self.report.submitted += 1
+            outcome = "ok"
+            try:
+                yield event
+            except ServerBusy:
+                self.report.shed += 1
+                outcome = "shed"
+                self._reconcile_failure(op)
+            except DeadlineExceeded as exc:
+                self.report.expired += 1
+                outcome = f"expired:{exc.stage}"
+                self._reconcile_failure(op)
+            except KVDirectError as exc:
+                self.report.failed += 1
+                outcome = f"failed:{type(exc).__name__}"
+                self._reconcile_failure(op)
+            else:
+                self.report.completed += 1
+                self._check_response(op, event.value)
+            self._hash.update(
+                f"out|{key_idx}|{i}|{op.seq}|{outcome}\n".encode()
+            )
+
+    def _check_response(self, op: KVOperation, result) -> None:
+        ok, value = self.model.apply(op)
+        if result.ok != ok or result.value != value:
+            self.report.divergences.append(
+                f"seq {op.seq}: response mismatch on {op.op.name} "
+                f"{op.key!r}: got (ok={result.ok}, {result.value!r}), "
+                f"model says (ok={ok}, {value!r})"
+            )
+
+    def _reconcile_failure(self, op: KVOperation) -> None:
+        """A failed op must have been atomic: applied fully or not at all.
+
+        Shed and deadline failures happen before execution, so the store
+        must match the model's *before* state.  A hardware fault during
+        timing replay fires after functional execution, so the *after*
+        state is equally legal - apply it to the model too.  Anything in
+        between is a divergence.
+        """
+        before = self.model.state.get(op.key)
+        actual = self.store.get(op.key)
+        if actual == before:
+            return
+        self.model.apply(op)
+        if self.model.state.get(op.key) == actual:
+            self.report.reconciled_applied += 1
+            return
+        # Revert the speculative apply and record the divergence.
+        if before is None:
+            self.model.state.pop(op.key, None)
+        else:
+            self.model.state[op.key] = before
+        self.report.divergences.append(
+            f"seq {op.seq}: failed {op.op.name} on {op.key!r} left the "
+            f"store at {actual!r}, neither before ({before!r}) nor after"
+        )
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> SoakReport:
+        procs = [
+            self.sim.process(self._driver(key_idx))
+            for key_idx in range(self.cfg.num_keys)
+        ]
+        done = self.sim.all_of(procs)
+        self.sim.run(done)
+        report = self.report
+        report.elapsed_ns = self.sim.now
+        report.final_state_matches = (
+            dict(self.store.items()) == self.model.state
+        )
+        injector = self.store.injector
+        if injector is not None:
+            report.faults_fired = injector.fired
+            self._hash.update(
+                f"faults|{injector.schedule_digest()}\n".encode()
+            )
+        report.digest = self._hash.hexdigest()
+        return report
+
+
+def run_soak(
+    config: Optional[SoakConfig] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> SoakReport:
+    """Run one chaos soak; see the module docstring for the invariants.
+
+    When ``registry`` is given every layer's metrics (including the
+    ingress/shed counters) are registered on it before the run, so the
+    caller can export them afterwards.
+    """
+    soak = _Soak(config or SoakConfig(), tracer)
+    if registry is not None:
+        soak.processor.register_metrics(registry)
+    return soak.run()

@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import struct
 import sys
 from typing import List, Optional
@@ -21,6 +22,7 @@ from typing import List, Optional
 from repro import constants, __version__
 from repro.analysis.report import format_table
 from repro.client.client import KVClient
+from repro.core.admission import SHED_POLICIES, OverloadPolicy
 from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor, run_closed_loop
 from repro.core.store import KVDirectStore
@@ -152,6 +154,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run through the cycle-level simulation (slower)",
     )
     replay.add_argument("--concurrency", type=int, default=250)
+
+    overload = sub.add_parser(
+        "overload",
+        help="sweep offered load with and without shedding: goodput, p99 "
+             "and shed-rate curves (docs/ROBUSTNESS.md)",
+    )
+    overload.add_argument(
+        "--multipliers", default="0.5,1.0,2.0,3.0",
+        help="comma-separated offered-load multiples of probed capacity",
+    )
+    overload.add_argument("--ops", type=int, default=3000)
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--memory-mib", type=int, default=4)
+    overload.add_argument("--queue-depth", type=int, default=64)
+    overload.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default="reject-new"
+    )
+    overload.add_argument(
+        "--deadline-us", type=float,
+        help="per-op deadline budget in microseconds (default: none)",
+    )
+    overload.add_argument(
+        "--export", metavar="PATH",
+        help="write both curves as JSON to PATH",
+    )
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos soak: seeded faults + overload bursts, checked against "
+             "a differential model (docs/ROBUSTNESS.md)",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--keys", type=int, default=16)
+    soak.add_argument("--ops-per-key", type=int, default=40)
+    soak.add_argument(
+        "--chaos", type=float, default=0.02,
+        help="fault intensity for FaultPlan.chaos (0 disables faults)",
+    )
+    soak.add_argument(
+        "--deadline-us", type=float,
+        help="per-op deadline budget in microseconds (default: none)",
+    )
+    soak.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default="reject-new"
+    )
+    soak.add_argument("--queue-depth", type=int, default=4)
+    soak.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON report (byte-identical across runs "
+             "of the same arguments)",
+    )
     return parser
 
 
@@ -399,6 +452,89 @@ def _cmd_replay(args, out) -> int:
     return 0
 
 
+def _cmd_overload(args, out) -> int:
+    from repro.chaos import sweep_offered_load
+
+    multipliers = tuple(
+        float(m) for m in args.multipliers.split(",") if m.strip()
+    )
+    curves = sweep_offered_load(
+        multipliers=multipliers,
+        seed=args.seed,
+        num_ops=args.ops,
+        memory_size=args.memory_mib << 20,
+        queue_depth=args.queue_depth,
+        shed_policy=args.shed_policy,
+        deadline_budget_ns=(
+            args.deadline_us * 1e3 if args.deadline_us is not None else None
+        ),
+    )
+    rows = [["capacity", f"{curves['capacity_mops']:.1f} Mops"],
+            ["shed policy", args.shed_policy]]
+    for name, label in (
+        ("with_shedding", "shed"), ("without_shedding", "no-shed")
+    ):
+        for point in curves[name]:
+            detail = (
+                f"goodput {point['goodput_mops']:.1f} Mops, "
+                f"shed {point['shed_rate']:.0%}"
+            )
+            if "latency_p99_ns" in point:
+                detail += f", p99 {point['latency_p99_ns'] / 1e3:.1f} us"
+            rows.append([f"{label} x{point['multiplier']:g}", detail])
+    if args.export:
+        with open(args.export, "w") as handle:
+            json.dump(curves, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        rows.append(["export", args.export])
+    print(format_table("Offered-load sweep", ["point", "result"], rows),
+          file=out)
+    return 0
+
+
+def _cmd_soak(args, out) -> int:
+    from repro.chaos import SoakConfig, run_soak
+    from repro.faults import FaultPlan
+
+    config = SoakConfig(
+        seed=args.seed,
+        num_keys=args.keys,
+        ops_per_key=args.ops_per_key,
+        overload=OverloadPolicy(
+            queue_depth=args.queue_depth, shed_policy=args.shed_policy
+        ),
+        fault_plan=(
+            FaultPlan.chaos(args.chaos) if args.chaos > 0 else None
+        ),
+        deadline_budget_ns=(
+            args.deadline_us * 1e3 if args.deadline_us is not None else None
+        ),
+    )
+    report = run_soak(config)
+    problems = report.check()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        rows = [
+            ["submitted", str(report.submitted)],
+            ["completed", str(report.completed)],
+            ["shed", str(report.shed)],
+            ["deadline expired", str(report.expired)],
+            ["failed", str(report.failed)],
+            ["goodput", f"{report.goodput:.1%} "
+                        f"(floor {report.goodput_floor:.0%})"],
+            ["faults fired", str(report.faults_fired)],
+            ["divergences", str(len(report.divergences))],
+            ["digest", report.digest[:16]],
+            ["verdict", "PASS" if not problems else
+             "FAIL: " + "; ".join(problems)],
+        ]
+        print(format_table("Chaos soak", ["metric", "value"], rows),
+              file=out)
+    return 0 if not problems else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "ycsb": _cmd_ycsb,
@@ -409,6 +545,8 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "record": _cmd_record,
     "replay": _cmd_replay,
+    "overload": _cmd_overload,
+    "soak": _cmd_soak,
 }
 
 

@@ -1,5 +1,12 @@
 """Client-side machinery: batching, request pacing, latency measurement."""
 
 from repro.client.client import ClientStats, KVClient
+from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
 
-__all__ = ["ClientStats", "KVClient"]
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "ClientStats",
+    "KVClient",
+    "RetryBudget",
+]

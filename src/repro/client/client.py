@@ -15,16 +15,30 @@ operations that already executed, so only the response flight is
 retransmitted (the server keeps a retransmit buffer) - atomics are never
 applied twice.  When the retry budget is exhausted the batch fails with
 :class:`~repro.errors.RetryExhausted`.
+
+Overload coherence (see ``docs/ROBUSTNESS.md``): batches may carry an
+absolute deadline on the wire; :class:`~repro.errors.ServerBusy` NACKs
+from the server's shed policy are retried on a backoff schedule *distinct*
+from loss retries, gated by a shared :class:`~repro.client.robust.RetryBudget`
+and a :class:`~repro.client.robust.CircuitBreaker` so a fleet of retrying
+clients cannot amplify the very overload being shed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
 
+from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
 from repro.core.operations import KVOperation, KVResult
 from repro.core.processor import KVProcessor
-from repro.errors import ConfigurationError, FaultInjected, RetryExhausted
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    FaultInjected,
+    RetryExhausted,
+    ServerBusy,
+)
 from repro.network.batching import decode_batch, encode_batch
 from repro.network.rdma import packet_wire_bytes
 from repro.obs.registry import MetricsRegistry
@@ -49,6 +63,16 @@ class ClientStats:
     retries: int = 0
     #: Operations whose server-side execution failed (fault surfaced).
     failed_ops: int = 0
+    #: ServerBusy NACKs received from the server's shed policy.
+    busy_nacks: int = 0
+    #: Batch re-sends triggered by ServerBusy NACKs (busy backoff stream).
+    busy_retries: int = 0
+    #: Operations abandoned after the busy retry limit / budget ran out.
+    busy_give_ups: int = 0
+    #: Operations the server expired against the batch deadline.
+    deadline_expired: int = 0
+    #: Times the circuit breaker opened during the run.
+    breaker_opens: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -61,6 +85,11 @@ class ClientStats:
             "latency_p99_ns": self.latency_p99_ns,
             "retries": float(self.retries),
             "failed_ops": float(self.failed_ops),
+            "busy_nacks": float(self.busy_nacks),
+            "busy_retries": float(self.busy_retries),
+            "busy_give_ups": float(self.busy_give_ups),
+            "deadline_expired": float(self.deadline_expired),
+            "breaker_opens": float(self.breaker_opens),
         }
 
 
@@ -76,6 +105,14 @@ class KVClient:
         retry_limit: int = 8,
         retry_backoff_ns: float = 1000.0,
         checksum: bool = False,
+        max_backoff_ns: Optional[float] = None,
+        backoff_jitter: float = 0.0,
+        seed: int = 0,
+        deadline_budget_ns: Optional[float] = None,
+        busy_retry_limit: int = 4,
+        busy_backoff_ns: float = 2000.0,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError("batch size must be positive")
@@ -85,6 +122,12 @@ class KVClient:
             raise ConfigurationError("retry limit must be non-negative")
         if retry_backoff_ns < 0:
             raise ConfigurationError("retry backoff must be non-negative")
+        if busy_retry_limit < 0:
+            raise ConfigurationError("busy retry limit must be non-negative")
+        if busy_backoff_ns < 0:
+            raise ConfigurationError("busy backoff must be non-negative")
+        if deadline_budget_ns is not None and deadline_budget_ns <= 0:
+            raise ConfigurationError("deadline budget must be positive")
         self.sim = sim
         self.processor = processor
         self.batch_size = batch_size
@@ -93,12 +136,37 @@ class KVClient:
         self.retry_backoff_ns = retry_backoff_ns
         #: Seal request payloads with the FNV-1a integrity trailer.
         self.checksum = checksum
+        #: Per-batch deadline: stamped on the wire as ``now + budget``.
+        self.deadline_budget_ns = deadline_budget_ns
+        self.busy_retry_limit = busy_retry_limit
+        self.retry_budget = retry_budget
+        self.breaker = breaker
+        #: Loss retries and ServerBusy retries back off on *independent*
+        #: seeded streams - a loss burst must not perturb busy pacing.
+        self._loss_backoff = BackoffPolicy(
+            retry_backoff_ns,
+            max_ns=max_backoff_ns,
+            jitter=backoff_jitter,
+            seed=seed,
+            stream="loss",
+        )
+        self._busy_backoff = BackoffPolicy(
+            busy_backoff_ns,
+            max_ns=max_backoff_ns,
+            jitter=backoff_jitter,
+            seed=seed,
+            stream="busy",
+        )
         self.latencies = Histogram()
         #: Responses keyed by op sequence number (ops with seq >= 0;
         #: latest write wins on a reused seq).
         self.responses: Dict[int, KVResult] = {}
         self.retries = 0
         self.failed_ops = 0
+        self.busy_nacks = 0
+        self.busy_retries = 0
+        self.busy_give_ups = 0
+        self.deadline_expired = 0
         self._request_bytes = 0
         self._response_bytes = 0
 
@@ -123,6 +191,11 @@ class KVClient:
             response_bytes_on_wire=self._response_bytes,
             retries=self.retries,
             failed_ops=self.failed_ops,
+            busy_nacks=self.busy_nacks,
+            busy_retries=self.busy_retries,
+            busy_give_ups=self.busy_give_ups,
+            deadline_expired=self.deadline_expired,
+            breaker_opens=self.breaker.opens if self.breaker else 0,
         )
 
     def register_metrics(
@@ -140,6 +213,28 @@ class KVClient:
         registry.register_gauge(
             f"{prefix}.response_bytes", lambda: self._response_bytes
         )
+        registry.register_gauge(
+            f"{prefix}.busy_nacks", lambda: self.busy_nacks
+        )
+        registry.register_gauge(
+            f"{prefix}.busy_retries", lambda: self.busy_retries
+        )
+        registry.register_gauge(
+            f"{prefix}.deadline_expired", lambda: self.deadline_expired
+        )
+        if self.breaker is not None:
+            registry.register_gauge(
+                f"{prefix}.breaker_state", self.breaker.state_code
+            )
+            breaker = self.breaker
+            registry.register_gauge(
+                f"{prefix}.breaker_opens", lambda: breaker.opens
+            )
+        if self.retry_budget is not None:
+            budget = self.retry_budget
+            registry.register_gauge(
+                f"{prefix}.retry_budget_tokens", lambda: budget.tokens
+            )
         return registry
 
     # -- internals ---------------------------------------------------------------
@@ -193,48 +288,127 @@ class KVClient:
     def _send_batch(self, batch: List[KVOperation], callback) -> Generator:
         start = self.sim.now
         network = self.processor.network
-        payload = encode_batch(batch, checksum=self.checksum)
-        wire = packet_wire_bytes(len(payload))
-        self._trace("client.batch.send", f"ops={len(batch)} wire={wire}B")
-        # Request flight: serialization on the port plus propagation.  A
-        # lost request never reached the server; resend the whole batch.
-        yield from self._flight_with_retries(
-            lambda: network.receive(wire), wire, "request"
+        deadline = (
+            self.sim.now + self.deadline_budget_ns
+            if self.deadline_budget_ns is not None
+            else None
         )
-        # Server side: verify + unpack as the NIC batch decoder would, then
-        # process every op.  (The submitted ops keep their seq numbers; the
-        # decode is the integrity check.)
-        if self.checksum:
-            decode_batch(payload, checksum=True)
-        events = [self.processor.submit(op) for op in batch]
-        yield self._settled(events)
-        for event in events:
-            if event.ok:
-                result = event.value
-                if result.seq >= 0:
-                    self.responses[result.seq] = result
-            else:
-                self.failed_ops += 1
-        # Response flight back to the client.  These ops already executed,
-        # so only the send retries (server retransmit buffer).
-        response_payload = sum(_response_size(event) for event in events)
-        response_wire = packet_wire_bytes(response_payload)
-        yield from self._flight_with_retries(
-            lambda: network.send(response_wire), response_wire, "response"
-        )
+        pending = batch
+        busy_attempt = 0
+        while True:
+            yield from self._breaker_gate()
+            payload = encode_batch(
+                pending, checksum=self.checksum, deadline_ns=deadline
+            )
+            wire = packet_wire_bytes(len(payload))
+            self._trace(
+                "client.batch.send", f"ops={len(pending)} wire={wire}B"
+            )
+            # Request flight: serialization on the port plus propagation.  A
+            # lost request never reached the server; resend the whole batch.
+            yield from self._flight_with_retries(
+                lambda w=wire: network.receive(w), wire, "request"
+            )
+            # Server side: verify + unpack as the NIC batch decoder would,
+            # then process every op.  (The submitted ops keep their seq
+            # numbers; the decode is the integrity check.)
+            if self.checksum:
+                decode_batch(payload, checksum=True)
+            events = [
+                self.processor.submit(op, deadline_ns=deadline)
+                for op in pending
+            ]
+            yield self._settled(events)
+            busy_ops = self._collect(pending, events)
+            # Response flight back to the client.  These ops already
+            # executed (or were NACKed), so only the send retries (server
+            # retransmit buffer).
+            response_payload = sum(_response_size(event) for event in events)
+            response_wire = packet_wire_bytes(response_payload)
+            yield from self._flight_with_retries(
+                lambda w=response_wire: network.send(w, nacks=len(busy_ops)),
+                response_wire,
+                "response",
+            )
+            if not busy_ops:
+                break
+            busy_attempt += 1
+            if busy_attempt > self.busy_retry_limit:
+                self._give_up(busy_ops, "busy retry limit")
+                break
+            if self.retry_budget is not None and not (
+                self.retry_budget.try_spend()
+            ):
+                self._give_up(busy_ops, "retry budget exhausted")
+                break
+            self.busy_retries += 1
+            delay = self._busy_backoff.delay(busy_attempt)
+            self._trace(
+                "client.busy_retry",
+                f"ops={len(busy_ops)} attempt={busy_attempt} "
+                f"backoff={delay:.0f}ns",
+            )
+            yield self.sim.timeout(delay)
+            pending = busy_ops
         latency = self.sim.now - start
         self._trace("client.batch.done", f"ops={len(batch)}")
         for __ in batch:
             self.latencies.record(latency)
         callback()
 
+    def _collect(
+        self, pending: List[KVOperation], events: List[Event]
+    ) -> List[KVOperation]:
+        """Harvest one round of responses; return the NACKed ops."""
+        busy_ops: List[KVOperation] = []
+        for op, event in zip(pending, events):
+            if event.ok:
+                result = event.value
+                if result.seq >= 0:
+                    self.responses[result.seq] = result
+                if self.breaker is not None:
+                    self.breaker.record(True)
+                if self.retry_budget is not None:
+                    self.retry_budget.on_success()
+                continue
+            exc = event.exception
+            if isinstance(exc, ServerBusy):
+                self.busy_nacks += 1
+                busy_ops.append(op)
+                if self.breaker is not None:
+                    self.breaker.record(False)
+            elif isinstance(exc, DeadlineExceeded):
+                self.deadline_expired += 1
+                self.failed_ops += 1
+                if self.breaker is not None:
+                    self.breaker.record(False)
+            else:
+                self.failed_ops += 1
+        return busy_ops
+
+    def _give_up(self, busy_ops: List[KVOperation], why: str) -> None:
+        """Abandon NACKed ops: fail fast rather than retry-storm."""
+        self.busy_give_ups += len(busy_ops)
+        self.failed_ops += len(busy_ops)
+        self._trace("client.busy_give_up", f"ops={len(busy_ops)} ({why})")
+
+    def _breaker_gate(self) -> Generator:
+        """Hold the batch while the circuit breaker is open."""
+        if self.breaker is None:
+            return
+        while not self.breaker.allow():
+            wait = max(self.breaker.wait_ns(), 1.0)
+            self._trace("client.breaker.wait", f"{wait:.0f}ns")
+            yield self.sim.timeout(wait)
+
     def _flight_with_retries(
         self, flight: Callable[[], Process], wire: int, direction: str
     ) -> Generator:
-        """Run one network flight, retrying injected losses with
+        """Run one network flight, retrying injected losses with capped
         exponential backoff; raises
         :class:`~repro.errors.RetryExhausted` past the retry limit."""
         attempt = 0
+        waited = 0.0
         while True:
             if direction == "request":
                 self._request_bytes += wire
@@ -247,16 +421,28 @@ class KVClient:
                 if attempt > self.retry_limit:
                     raise RetryExhausted(
                         f"{direction} flight lost {attempt} times "
-                        f"(retry limit {self.retry_limit})"
+                        f"(retry limit {self.retry_limit}, waited "
+                        f"{waited:.0f} ns in backoff)"
+                    ) from exc
+                if self.retry_budget is not None and not (
+                    self.retry_budget.try_spend()
+                ):
+                    raise RetryExhausted(
+                        f"{direction} flight lost {attempt} times and the "
+                        f"shared retry budget is exhausted (waited "
+                        f"{waited:.0f} ns in backoff)"
                     ) from exc
                 self.retries += 1
+                delay = self._loss_backoff.delay(attempt)
+                waited += delay
                 self._trace(
-                    "client.retry", f"{direction} attempt={attempt}"
+                    "client.retry",
+                    f"{direction} attempt={attempt} backoff={delay:.0f}ns",
                 )
-                yield self.sim.timeout(
-                    self.retry_backoff_ns * (2 ** (attempt - 1))
-                )
+                yield self.sim.timeout(delay)
                 continue
+            if self.retry_budget is not None:
+                self.retry_budget.on_success()
             return
 
     def _settled(self, events: List[Event]) -> Event:

@@ -1,0 +1,217 @@
+"""Ingress admission control and load shedding (overload path).
+
+The paper's reservation station bounds *in-flight* operations, but the
+seed implementation simply blocked at ingress when the station filled:
+under offered load above capacity the simulated NIC queued requests
+unboundedly and latencies grew without bound.  This module gives the
+processor the property production KV stores have instead - graceful
+degradation: a **bounded ingress queue** in front of the station's token
+pool, plus a pluggable **shed policy** deciding which operation to drop
+when the queue is full.  A shed operation fails fast with
+:class:`~repro.errors.ServerBusy` (a retryable NACK on the wire) rather
+than waiting forever.
+
+Shed policies (:data:`SHED_POLICIES`):
+
+- ``reject-new`` - the arriving operation is dropped (classic tail drop).
+- ``drop-oldest`` - the head of the queue is dropped in favour of the
+  arrival (the oldest op is the most likely to miss its deadline anyway).
+- ``by-op-class`` - the cheapest-to-lose class goes first: vector/λ ops,
+  then writes (PUT/DELETE), then reads; oldest within the class.
+
+See ``docs/ROBUSTNESS.md`` for the full overload-control design.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Optional
+
+from repro.core.operations import KVOperation, OpType
+from repro.errors import ConfigurationError, ServerBusy
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import TokenPool
+from repro.sim.stats import Counter, Histogram
+
+#: The shed policies :class:`OverloadPolicy` accepts.
+SHED_POLICIES = ("reject-new", "drop-oldest", "by-op-class")
+
+#: Shed-class ranks for ``by-op-class``: lower sheds first.
+_CLASS_VECTOR = 0
+_CLASS_WRITE = 1
+_CLASS_READ = 2
+
+_CLASS_NAMES = {
+    _CLASS_VECTOR: "vector",
+    _CLASS_WRITE: "write",
+    _CLASS_READ: "read",
+}
+
+
+def shed_class(op: KVOperation) -> int:
+    """Shed priority of one operation: vector ops first, then writes,
+    then reads (reads are the last to go - they are cheap, side-effect
+    free, and the likeliest to be latency-critical)."""
+    if op.carries_func:
+        return _CLASS_VECTOR
+    if op.op in (OpType.PUT, OpType.DELETE):
+        return _CLASS_WRITE
+    return _CLASS_READ
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Overload-control knobs of one processor.
+
+    Attach via :class:`~repro.core.config.KVDirectConfig.overload`; when
+    absent the processor keeps the legacy blocking-ingress behaviour.
+    """
+
+    #: Operations that may wait in front of the reservation station
+    #: before arrivals start getting shed.
+    queue_depth: int = 64
+
+    #: One of :data:`SHED_POLICIES`.
+    shed_policy: str = "reject-new"
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ConfigurationError(
+                f"ingress queue depth must be positive: {self.queue_depth}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {self.shed_policy!r}: "
+                f"want one of {', '.join(SHED_POLICIES)}"
+            )
+
+    def with_overrides(self, **kwargs) -> "OverloadPolicy":
+        """A copy with some knobs replaced (policies are frozen)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class _Waiter:
+    """One operation parked in the ingress queue."""
+
+    op: KVOperation
+    event: Event
+    enqueued_ns: float
+
+
+class IngressQueue:
+    """Bounded admission queue in front of the reservation station.
+
+    :meth:`submit` returns an event that *succeeds* (with the queue wait
+    in ns) once a station token is granted, or *fails* with
+    :class:`~repro.errors.ServerBusy` when the shed policy drops the
+    operation.  The processor calls :meth:`release` instead of releasing
+    the token pool directly, so freed slots hand over to the oldest
+    waiter in FIFO order.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tokens: TokenPool,
+        policy: OverloadPolicy,
+    ) -> None:
+        self.sim = sim
+        self.tokens = tokens
+        self.policy = policy
+        self._queue: Deque[_Waiter] = deque()
+        self.counters = Counter()
+        #: Time admitted operations spent waiting in the ingress queue.
+        self.wait_ns = Histogram()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Operations currently waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def shed_total(self) -> int:
+        return self.counters["shed_total"]
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, op: KVOperation) -> Event:
+        """Request admission for one op; see class docstring for outcomes."""
+        event = self.sim.event()
+        if not self._queue and self.tokens.try_acquire():
+            self.counters.add("admitted_direct")
+            self.wait_ns.record(0.0)
+            event.succeed(0.0)
+            return event
+        waiter = _Waiter(op, event, self.sim.now)
+        if len(self._queue) < self.policy.queue_depth:
+            self._enqueue(waiter)
+            return event
+        self.counters.add("queue_full")
+        victim = self._choose_victim(waiter)
+        if victim is not waiter:
+            self._queue.remove(victim)
+            self._enqueue(waiter)
+        self._shed(victim)
+        return event
+
+    def release(self) -> None:
+        """Return one station token, admitting the oldest waiter if any."""
+        self.tokens.release()
+        if self._queue and self.tokens.try_acquire():
+            waiter = self._queue.popleft()
+            waited = self.sim.now - waiter.enqueued_ns
+            self.counters.add("admitted_queued")
+            self.wait_ns.record(waited)
+            waiter.event.succeed(waited)
+
+    # -- shedding -----------------------------------------------------------
+
+    def _enqueue(self, waiter: _Waiter) -> None:
+        self._queue.append(waiter)
+        self.counters.add("enqueued")
+        self.counters.record_max("max_depth", len(self._queue))
+
+    def _choose_victim(self, arriving: _Waiter) -> _Waiter:
+        """The waiter the active shed policy gives up on."""
+        policy = self.policy.shed_policy
+        if policy == "reject-new":
+            return arriving
+        if policy == "drop-oldest":
+            return self._queue[0]
+        # by-op-class: lowest class first; oldest within the class (the
+        # arrival is the newest member of its class).
+        victim = arriving
+        victim_rank = (shed_class(arriving.op), 1)
+        for waiter in self._queue:
+            rank = (shed_class(waiter.op), 0)
+            if rank < victim_rank:
+                victim, victim_rank = waiter, rank
+        return victim
+
+    def _shed(self, victim: _Waiter) -> None:
+        policy = self.policy.shed_policy
+        reason = (
+            "arriving" if policy == "reject-new"
+            else "oldest" if policy == "drop-oldest"
+            else _CLASS_NAMES[shed_class(victim.op)]
+        )
+        self.counters.add("shed_total")
+        self.counters.add(f"shed_{policy.replace('-', '_')}")
+        self.counters.add(f"shed_class_{_CLASS_NAMES[shed_class(victim.op)]}")
+        victim.event.fail(
+            ServerBusy(
+                f"ingress queue full ({self.policy.queue_depth} deep): "
+                f"op seq={victim.op.seq} shed by {policy} ({reason})",
+                policy=policy,
+                reason=reason,
+            )
+        )
+
+    def snapshot(self) -> dict:
+        data = self.counters.snapshot()
+        data["depth"] = len(self._queue)
+        return data

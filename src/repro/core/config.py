@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro import constants
 from repro.constants import BUCKET_SIZE
+from repro.core.admission import OverloadPolicy
 from repro.core.hashindex import max_inline_kv_size
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
@@ -78,6 +79,13 @@ class KVDirectConfig:
     #: and every hardware layer consults it at its fault sites.
     fault_plan: Optional[FaultPlan] = None
 
+    #: Optional overload-control policy (see :mod:`repro.core.admission`
+    #: and ``docs/ROBUSTNESS.md``).  When set, the processor fronts the
+    #: reservation station with a bounded ingress queue and sheds excess
+    #: load with :class:`~repro.errors.ServerBusy` NACKs; when ``None``
+    #: ingress blocks (the legacy, collapse-prone behaviour).
+    overload: Optional[OverloadPolicy] = None
+
     def __post_init__(self) -> None:
         if self.fault_plan is not None and not isinstance(
             self.fault_plan, FaultPlan
@@ -85,6 +93,13 @@ class KVDirectConfig:
             raise ConfigurationError(
                 f"fault_plan must be a FaultPlan, got "
                 f"{type(self.fault_plan).__name__}"
+            )
+        if self.overload is not None and not isinstance(
+            self.overload, OverloadPolicy
+        ):
+            raise ConfigurationError(
+                f"overload must be an OverloadPolicy, got "
+                f"{type(self.overload).__name__}"
             )
         if self.memory_size < 4 * BUCKET_SIZE:
             raise ConfigurationError("memory_size too small")

@@ -108,6 +108,17 @@ class ReservationStation:
     def has_room(self) -> bool:
         return self.occupancy < self.capacity
 
+    def record_full_stall(self) -> None:
+        """Count one ingress arrival that found every in-flight slot taken.
+
+        The processor calls this when an operation cannot be admitted
+        immediately (legacy blocking ingress *and* the overload path's
+        bounded queue); ``station.full_stalls`` makes saturation visible
+        where it used to be silent - the ``queued`` counter only covers
+        same-key dependency chains, not capacity stalls.
+        """
+        self.counters.add("full_stalls")
+
     def admit(self, op: KVOperation) -> Admission:
         """Accept one operation; caller must respect :attr:`has_room`."""
         if not self.has_room:

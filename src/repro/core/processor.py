@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.core.admission import IngressQueue
 from repro.core.config import KVDirectConfig
 from repro.core.ooo import Admission, ReservationStation
 from repro.core.operations import KVOperation, KVResult, OpType
@@ -29,7 +30,12 @@ from repro.core.store import KVDirectStore
 from repro.core.vector import apply_operation
 from repro.dram.cache import DramCache, ECCFaultPath
 from repro.dram.nic import NICDram
-from repro.errors import KVDirectError, SimulationError
+from repro.errors import (
+    DeadlineExceeded,
+    KVDirectError,
+    ServerBusy,
+    SimulationError,
+)
 from repro.memory.dispatcher import LoadDispatcher
 from repro.memory.engine import MemoryAccessEngine
 from repro.network.ethernet import EthernetLink
@@ -138,22 +144,47 @@ class KVProcessor:
         self.inflight = TokenPool(
             sim, cfg.max_inflight, name="station_tokens"
         )
+        #: Bounded ingress queue + shed policy, when overload control is
+        #: configured; None keeps the legacy blocking ingress.
+        self.admission = (
+            IngressQueue(sim, self.inflight, cfg.overload)
+            if cfg.overload is not None
+            else None
+        )
 
         # -- bookkeeping -----------------------------------------------------
         self._waiting: Dict[int, Event] = {}  # id(op) -> response event
+        self._deadlines: Dict[int, float] = {}  # id(op) -> absolute ns
         self.counters = Counter()
         self.latencies = Histogram()
         #: Time each main-pipeline op spent in memory accesses (ns).
         self.memory_time = Histogram()
+        #: Time ops spent stalled at ingress waiting for a station slot.
+        self.stall_times = Histogram()
+        #: Deadline expiries per pipeline stage boundary.
+        self.deadline_counters = Counter()
         self.completed = 0
 
     # -- public API -----------------------------------------------------------
 
-    def submit(self, op: KVOperation) -> Event:
+    def submit(
+        self, op: KVOperation, deadline_ns: Optional[float] = None
+    ) -> Event:
         """Submit one operation; the event fires with its
-        :class:`~repro.core.operations.KVResult` at response time."""
+        :class:`~repro.core.operations.KVResult` at response time.
+
+        ``deadline_ns`` is an absolute simulated-time deadline: the
+        pipeline checks it lazily at stage boundaries (decode, station
+        admission, main-pipeline start) and fails the op with
+        :class:`~repro.errors.DeadlineExceeded` once expired - always
+        *before* it touches store state.  Under a configured
+        :class:`~repro.core.admission.OverloadPolicy` the event may also
+        fail with :class:`~repro.errors.ServerBusy` when the op is shed.
+        """
         response = self.sim.event()
         self._waiting[id(op)] = response
+        if deadline_ns is not None:
+            self._deadlines[id(op)] = deadline_ns
         self.sim.process(self._ingress(op))
         return response
 
@@ -166,14 +197,77 @@ class KVProcessor:
         if self.tracer is not None:
             self.tracer.emit(seq, stage, detail)
 
+    def _expired(self, op: KVOperation) -> bool:
+        """True if ``op`` carries a deadline that has already passed."""
+        deadline = self._deadlines.get(id(op))
+        return deadline is not None and self.sim.now > deadline
+
+    def _fail_before_admission(
+        self, op: KVOperation, exc: KVDirectError
+    ) -> None:
+        """Fail an op that never reached the reservation station.
+
+        Nothing to unwind: no station slot, no inflight token, no store
+        state - just surface the error on the response event.
+        """
+        self._deadlines.pop(id(op), None)
+        event = self._waiting.pop(id(op), None)
+        if event is not None:
+            event.fail(exc)
+
+    def _expire(self, op: KVOperation, stage: str) -> None:
+        """Fail a not-yet-admitted op whose deadline passed at ``stage``."""
+        self.deadline_counters.add(stage)
+        self._trace(op.seq, "deadline.expired", f"stage={stage}")
+        deadline = self._deadlines.get(id(op), 0.0)
+        self._fail_before_admission(
+            op,
+            DeadlineExceeded(
+                f"op seq={op.seq} missed its deadline at the {stage} "
+                f"boundary ({self.sim.now - deadline:.0f} ns late)",
+                stage=stage,
+            ),
+        )
+
     def _ingress(self, op: KVOperation) -> Generator:
         start = self.sim.now
         self._trace(op.seq, "ingress", f"op={op.op.name}")
         # Stage 1: the decoder (one op per clock, fully pipelined).
         yield self.decoder.submit()
         self._trace(op.seq, "decode")
+        if self._expired(op):
+            self._expire(op, "decode")
+            return
         # Stage 2: reservation-station admission (bounded in-flight ops).
-        yield self.inflight.acquire()
+        if self.admission is not None:
+            grant = self.admission.submit(op)
+            if not grant.triggered:
+                self.station.record_full_stall()
+            stall_start = self.sim.now
+            try:
+                yield grant
+            except ServerBusy as exc:
+                self.counters.add("shed_ops")
+                self._trace(op.seq, "shed", f"policy={exc.policy}")
+                self._fail_before_admission(op, exc)
+                return
+            if self.sim.now > stall_start:
+                self.stall_times.record(self.sim.now - stall_start)
+        else:
+            grant = self.inflight.acquire()
+            if not grant.triggered:
+                self.station.record_full_stall()
+                stall_start = self.sim.now
+                yield grant
+                self.stall_times.record(self.sim.now - stall_start)
+            else:
+                yield grant
+        if self._expired(op):
+            # The slot was granted but the op is already dead: hand the
+            # token straight back before failing.
+            self._release_slot()
+            self._expire(op, "admission")
+            return
         self.counters.add("admitted")
         admission = self.station.admit(op)
         if admission is Admission.EXECUTE:
@@ -204,6 +298,21 @@ class KVProcessor:
 
     def _main_pipeline(self, op: KVOperation) -> Generator:
         """Execute one op against the table, replaying its DMA traffic."""
+        if op.seq >= 0 and self._expired(op):
+            # Already admitted, but dead before touching memory: fail it
+            # through the station so dependents are forwarded the key's
+            # true current value.  No store state was modified.
+            self.deadline_counters.add("pipeline_start")
+            self._trace(op.seq, "deadline.expired", "stage=pipeline_start")
+            self._fail_op(
+                op,
+                DeadlineExceeded(
+                    f"op seq={op.seq} missed its deadline at the "
+                    f"pipeline_start boundary",
+                    stage="pipeline_start",
+                ),
+            )
+            return
         self._trace(op.seq, "pipeline.start")
         memory = self.store.memory
         memory.start_trace()
@@ -325,7 +434,8 @@ class KVProcessor:
         completion = self.station.complete(op, value_after)
         if op.seq >= 0:
             event = self._waiting.pop(id(op), None)
-            self.inflight.release()
+            self._deadlines.pop(id(op), None)
+            self._release_slot()
             if event is not None:
                 event.fail(exc)
         for forwarded_op, forwarded_result in completion.responses:
@@ -337,11 +447,20 @@ class KVProcessor:
         if completion.next_issue is not None:
             self.sim.process(self._main_pipeline(completion.next_issue))
 
+    def _release_slot(self) -> None:
+        """Return one station slot, via the ingress queue when present so
+        freed capacity hands over to the oldest queued arrival."""
+        if self.admission is not None:
+            self.admission.release()
+        else:
+            self.inflight.release()
+
     def _respond(self, op: KVOperation, result: KVResult) -> None:
         event = self._waiting.pop(id(op), None)
         if event is None:
             raise SimulationError("response for unknown operation")
-        self.inflight.release()
+        self._deadlines.pop(id(op), None)
+        self._release_slot()
         self._trace(op.seq, "complete", f"ok={result.ok}")
         event.succeed(result)
 
@@ -367,11 +486,19 @@ class KVProcessor:
         registry.register_gauge(
             "processor.throughput_mops", self.throughput_mops
         )
+        registry.register("processor.deadline", self.deadline_counters)
         registry.register("station", self.station.counters)
         registry.register_gauge(
             "station.occupancy", lambda: self.station.occupancy
         )
         registry.register_gauge("station.busy_slots", self.station.busy_slots)
+        registry.register("station.stall_time_ns", self.stall_times)
+        if self.admission is not None:
+            registry.register("ingress", self.admission.counters)
+            registry.register("ingress.wait_ns", self.admission.wait_ns)
+            registry.register_gauge(
+                "ingress.depth", lambda: self.admission.depth
+            )
         for link in self.dma.links:
             registry.register(f"pcie.{link.name}", link.counters)
             registry.register(

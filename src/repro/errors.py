@@ -52,6 +52,40 @@ class RetryExhausted(FaultInjected):
     """A client retried past its budget without a successful delivery."""
 
 
+class DeadlineExceeded(KVDirectError):
+    """An operation's deadline passed before it finished executing.
+
+    The processor checks deadlines lazily at stage boundaries (decode,
+    station admission, main-pipeline start), so an expired operation is
+    dropped *before* it touches store state - deadline failures are
+    always side-effect free.  ``stage`` names the boundary where the
+    expiry was detected.
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        #: Pipeline stage at which the expiry was detected
+        #: (``"decode"``, ``"admission"`` or ``"pipeline_start"``).
+        self.stage = stage
+
+
+class ServerBusy(KVDirectError):
+    """The server shed this operation under overload (retryable NACK).
+
+    Raised when the bounded ingress queue is full and the active shed
+    policy chose this operation as the victim.  The operation never
+    executed; clients may retry it, subject to their retry budget and
+    circuit breaker (see ``docs/ROBUSTNESS.md``).
+    """
+
+    def __init__(self, message: str, policy: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        #: Shed policy that dropped the op (e.g. ``"reject-new"``).
+        self.policy = policy
+        #: Why it was chosen (e.g. ``"queue_full"``, ``"lowest_class"``).
+        self.reason = reason
+
+
 class CorruptionDetected(KVDirectError):
     """Data corruption was detected (and not correctable) by the ECC path.
 

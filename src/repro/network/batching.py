@@ -7,8 +7,14 @@ and value size, or the value of the previous KV in the packet."
 
 Wire layout of one batch::
 
-    u16   op count
+    u16   op count (low 15 bits) | DEADLINE flag (bit 15)
+    u64   absolute deadline, ns  (only when DEADLINE flag set)
     op*   operations
+
+The optional deadline header carries the batch's absolute deadline in
+simulated nanoseconds (see ``docs/ROBUSTNESS.md``): the server checks it
+lazily at pipeline stage boundaries and fails expired operations with
+:class:`~repro.errors.DeadlineExceeded` instead of doing dead work.
 
 One operation::
 
@@ -26,7 +32,7 @@ All multi-byte integers are little-endian.
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.operations import KVOperation, OpType
 from repro.errors import CorruptionDetected, ProtocolError
@@ -36,8 +42,14 @@ _FLAG_SAME_KLEN = 0x10
 _FLAG_SAME_VLEN = 0x20
 _FLAG_SAME_VALUE = 0x40
 
+#: Bit 15 of the count header: a u64 absolute deadline (ns) follows.
+_FLAG_BATCH_DEADLINE = 0x8000
+#: With the deadline flag occupying bit 15, the count spans 15 bits.
+_MAX_BATCH_OPS = 0x7FFF
+
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
 #: FNV-1a 32-bit parameters, for the optional batch integrity trailer.
 _FNV_OFFSET = 0x811C9DC5
@@ -83,17 +95,25 @@ def unseal_batch(data: bytes) -> bytes:
 
 
 class BatchEncoder:
-    """Packs operations into a batch payload, exploiting repetition."""
+    """Packs operations into a batch payload, exploiting repetition.
 
-    def __init__(self) -> None:
-        self._parts: List[bytes] = [b"\x00\x00"]  # count placeholder
+    ``deadline_ns`` stamps the whole batch with an absolute deadline in
+    simulated nanoseconds, carried in the optional u64 header field.
+    """
+
+    def __init__(self, deadline_ns: Optional[float] = None) -> None:
+        self.deadline_ns = _validate_deadline(deadline_ns)
+        header = b"\x00\x00"  # count placeholder
+        if self.deadline_ns is not None:
+            header += _U64.pack(int(self.deadline_ns))
+        self._parts: List[bytes] = [header]
         self._count = 0
         self._prev_klen: Optional[int] = None
         self._prev_vlen: Optional[int] = None
         self._prev_value: Optional[bytes] = None
 
     def add(self, op: KVOperation) -> None:
-        if self._count >= 0xFFFF:
+        if self._count >= _MAX_BATCH_OPS:
             raise ProtocolError("batch op count overflow")
         self._validate(op)
         flags = 0
@@ -160,7 +180,12 @@ class BatchEncoder:
 
     def finish(self) -> bytes:
         """Return the encoded batch payload."""
-        self._parts[0] = _U16.pack(self._count)
+        lead = self._count
+        trailer = b""
+        if self.deadline_ns is not None:
+            lead |= _FLAG_BATCH_DEADLINE
+            trailer = _U64.pack(int(self.deadline_ns))
+        self._parts[0] = _U16.pack(lead) + trailer
         return b"".join(self._parts)
 
     @property
@@ -172,12 +197,34 @@ class BatchEncoder:
         return sum(len(p) for p in self._parts)
 
 
+def _validate_deadline(deadline_ns: Optional[float]) -> Optional[float]:
+    """Check a deadline fits the wire format's u64 nanosecond field."""
+    if deadline_ns is None:
+        return None
+    if not deadline_ns >= 0:
+        raise ProtocolError(
+            f"batch deadline must be a non-negative time in ns: "
+            f"{deadline_ns!r}"
+        )
+    if deadline_ns >= 2 ** 64:
+        raise ProtocolError(
+            f"batch deadline {deadline_ns!r} exceeds the wire format's "
+            f"u64 field"
+        )
+    return float(deadline_ns)
+
+
 class BatchDecoder:
-    """Unpacks a batch payload back into operations."""
+    """Unpacks a batch payload back into operations.
+
+    After :meth:`decode`, :attr:`deadline_ns` holds the batch's absolute
+    deadline (ns) if the DEADLINE header flag was set, else ``None``.
+    """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0
+        self.deadline_ns: Optional[float] = None
 
     def _take(self, n: int) -> bytes:
         if self._pos + n > len(self._data):
@@ -193,7 +240,10 @@ class BatchDecoder:
         return _U16.unpack(self._take(2))[0]
 
     def decode(self) -> List[KVOperation]:
-        count = self._u16()
+        lead = self._u16()
+        count = lead & _MAX_BATCH_OPS
+        if lead & _FLAG_BATCH_DEADLINE:
+            self.deadline_ns = float(_U64.unpack(self._take(_U64.size))[0])
         ops: List[KVOperation] = []
         prev_klen: Optional[int] = None
         prev_vlen: Optional[int] = None
@@ -258,13 +308,16 @@ class BatchDecoder:
 
 
 def encode_batch(
-    ops: Iterable[KVOperation], checksum: bool = False
+    ops: Iterable[KVOperation],
+    checksum: bool = False,
+    deadline_ns: Optional[float] = None,
 ) -> bytes:
     """Encode a sequence of operations into one batch payload.
 
-    ``checksum=True`` appends the 4-byte FNV-1a integrity trailer.
+    ``checksum=True`` appends the 4-byte FNV-1a integrity trailer;
+    ``deadline_ns`` stamps the optional absolute-deadline header field.
     """
-    encoder = BatchEncoder()
+    encoder = BatchEncoder(deadline_ns=deadline_ns)
     for op in ops:
         encoder.add(op)
     payload = encoder.finish()
@@ -273,9 +326,23 @@ def encode_batch(
 
 def decode_batch(data: bytes, checksum: bool = False) -> List[KVOperation]:
     """Decode one batch payload, verifying the trailer if ``checksum``."""
+    ops, __ = decode_batch_with_deadline(data, checksum=checksum)
+    return ops
+
+
+def decode_batch_with_deadline(
+    data: bytes, checksum: bool = False
+) -> Tuple[List[KVOperation], Optional[float]]:
+    """Decode one batch payload, returning ``(ops, deadline_ns)``.
+
+    ``deadline_ns`` is the absolute batch deadline carried in the
+    optional header field, or ``None`` when the batch was not stamped.
+    """
     if checksum:
         data = unseal_batch(data)
-    return BatchDecoder(data).decode()
+    decoder = BatchDecoder(data)
+    ops = decoder.decode()
+    return ops, decoder.deadline_ns
 
 
 def encoded_size(ops: Sequence[KVOperation]) -> int:

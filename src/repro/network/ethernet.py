@@ -65,10 +65,17 @@ class EthernetLink:
         self.counters.add("rx_bytes", nbytes)
         return self.sim.process(self._transfer(self.ingress, nbytes, "rx"))
 
-    def send(self, nbytes: int) -> Process:
-        """Server -> client transfer; completes when delivered."""
+    def send(self, nbytes: int, nacks: int = 0) -> Process:
+        """Server -> client transfer; completes when delivered.
+
+        ``nacks`` counts ServerBusy NACKs riding in this response packet
+        (shed operations answered without execution), surfaced as the
+        ``eth.tx_nacks`` counter.
+        """
         self.counters.add("tx_packets")
         self.counters.add("tx_bytes", nbytes)
+        if nacks:
+            self.counters.add("tx_nacks", nacks)
         return self.sim.process(self._transfer(self.egress, nbytes, "tx"))
 
     def _transfer(self, channel: BandwidthServer, nbytes: int, direction: str):

@@ -176,6 +176,68 @@ class TestMetrics:
             assert "# TYPE kvdirect_processor counter" in handle.read()
 
 
+class TestOverload:
+    _FAST = ("--ops", "600", "--multipliers", "0.5,3.0")
+
+    def test_sweep_prints_both_curves(self):
+        code, output = run_cli("overload", *self._FAST)
+        assert code == 0
+        assert "shed x3" in output
+        assert "no-shed x3" in output
+        assert "Mops" in output
+
+    def test_export_writes_both_curves_as_json(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "curves.json")
+        code, output = run_cli("overload", *self._FAST, "--export", path)
+        assert code == 0
+        assert path in output
+        with open(path) as handle:
+            curves = json.load(handle)
+        assert len(curves["with_shedding"]) == 2
+        assert len(curves["without_shedding"]) == 2
+        assert curves["capacity_mops"] > 0
+        at3 = curves["with_shedding"][1]
+        assert at3["multiplier"] == 3.0
+        assert at3["shed"] > 0
+
+
+class TestSoak:
+    _FAST = ("--keys", "8", "--ops-per-key", "10")
+
+    def test_passing_soak_exits_zero(self):
+        code, output = run_cli("soak", "--seed", "7", *self._FAST)
+        assert code == 0
+        assert "PASS" in output
+        assert "digest" in output
+
+    def test_json_report_is_byte_identical(self):
+        import json
+
+        code_a, first = run_cli(
+            "soak", "--seed", "7", "--json", *self._FAST
+        )
+        code_b, second = run_cli(
+            "soak", "--seed", "7", "--json", *self._FAST
+        )
+        assert code_a == code_b == 0
+        assert first == second
+        report = json.loads(first)
+        assert report["ok"] is True
+        assert report["submitted"] == 80
+        assert report["divergences"] == []
+
+    def test_chaos_flag_drives_fault_injection(self):
+        import json
+
+        code, output = run_cli(
+            "soak", "--chaos", "0.05", "--json", *self._FAST
+        )
+        assert code == 0
+        assert json.loads(output)["faults_fired"] > 0
+
+
 class TestTrace:
     _FAST = ("--ops", "120", "--corpus", "100", "--memory-mib", "4")
 
