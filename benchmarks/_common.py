@@ -8,7 +8,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import KVDirectConfig
 from repro.core.operations import KVOperation
-from repro.core.processor import KVProcessor, run_closed_loop
+from repro.core.processor import KVProcessor
+from repro.driver import run_closed_loop
 from repro.core.store import KVDirectStore
 from repro.obs import MetricsRegistry
 from repro.sim import Simulator

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.admission import OverloadPolicy
+from repro.core.hashing import shard_of
 from repro.core.operations import KVOperation, OpType
 from repro.core.processor import KVProcessor
 from repro.core.store import KVDirectStore
@@ -92,6 +93,9 @@ class SoakConfig:
     """Everything one chaos-soak run depends on; fully seed-determined."""
 
     seed: int = 0
+    #: Server stacks to shard the soak across (key-hash routed).  The
+    #: default single shard keeps the original soak byte-identical.
+    num_shards: int = 1
     #: Independent per-key driver chains (also the key-space size).
     num_keys: int = 16
     #: Operations each driver submits, strictly in order.
@@ -119,6 +123,8 @@ class SoakConfig:
     goodput_floor: float = 0.5
 
     def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("soak needs at least one shard")
         if self.num_keys <= 0 or self.ops_per_key <= 0:
             raise ConfigurationError("soak needs keys and ops")
         if self.phase_ops <= 0:
@@ -205,15 +211,25 @@ class _Soak:
 
     def __init__(self, cfg: SoakConfig, tracer: Optional[Tracer]) -> None:
         self.cfg = cfg
-        self.store = KVDirectStore.create(
-            memory_size=cfg.memory_size,
-            seed=cfg.seed,
-            max_inflight=cfg.max_inflight,
-            overload=cfg.overload,
-            fault_plan=cfg.fault_plan,
-        )
+        #: One share-nothing store per shard; shard 0 uses the base seed,
+        #: so a single-shard soak is byte-identical to the unsharded one.
+        self.stores = [
+            KVDirectStore.create(
+                memory_size=cfg.memory_size,
+                seed=cfg.seed + shard,
+                max_inflight=cfg.max_inflight,
+                overload=cfg.overload,
+                fault_plan=cfg.fault_plan,
+            )
+            for shard in range(cfg.num_shards)
+        ]
+        self.store = self.stores[0]
         self.sim = Simulator()
-        self.processor = KVProcessor(self.sim, self.store, tracer=tracer)
+        self.processors = [
+            KVProcessor(self.sim, store, tracer=tracer)
+            for store in self.stores
+        ]
+        self.processor = self.processors[0]
         self.model = _RefModel()
         self.report = SoakReport(
             seed=cfg.seed, goodput_floor=cfg.goodput_floor
@@ -282,6 +298,10 @@ class _Soak:
 
     # -- drivers -----------------------------------------------------------
 
+    def _shard(self, key: bytes) -> int:
+        """The shard owning a key (the server-side routing function)."""
+        return shard_of(key, self.cfg.num_shards)
+
     def _driver(self, key_idx: int):
         cfg = self.cfg
         for i, (op, gap) in enumerate(self.schedule[key_idx]):
@@ -291,7 +311,8 @@ class _Soak:
                 if cfg.deadline_budget_ns is not None
                 else None
             )
-            event = self.processor.submit(op, deadline_ns=deadline)
+            processor = self.processors[self._shard(op.key)]
+            event = processor.submit(op, deadline_ns=deadline)
             self.report.submitted += 1
             outcome = "ok"
             try:
@@ -334,7 +355,7 @@ class _Soak:
         between is a divergence.
         """
         before = self.model.state.get(op.key)
-        actual = self.store.get(op.key)
+        actual = self.stores[self._shard(op.key)].get(op.key)
         if actual == before:
             return
         self.model.apply(op)
@@ -362,15 +383,27 @@ class _Soak:
         self.sim.run(done)
         report = self.report
         report.elapsed_ns = self.sim.now
-        report.final_state_matches = (
-            dict(self.store.items()) == self.model.state
-        )
-        injector = self.store.injector
-        if injector is not None:
-            report.faults_fired = injector.fired
-            self._hash.update(
-                f"faults|{injector.schedule_digest()}\n".encode()
-            )
+        # Shard routing is disjoint, so the union of per-shard states must
+        # equal the single reference model's state.
+        merged: Dict[bytes, bytes] = {}
+        for store in self.stores:
+            merged.update(store.items())
+        report.final_state_matches = merged == self.model.state
+        if self.cfg.num_shards == 1:
+            injector = self.store.injector
+            if injector is not None:
+                report.faults_fired = injector.fired
+                self._hash.update(
+                    f"faults|{injector.schedule_digest()}\n".encode()
+                )
+        else:
+            for shard, store in enumerate(self.stores):
+                if store.injector is not None:
+                    report.faults_fired += store.injector.fired
+                    self._hash.update(
+                        f"faults|{shard}|"
+                        f"{store.injector.schedule_digest()}\n".encode()
+                    )
         report.digest = self._hash.hexdigest()
         return report
 
@@ -388,5 +421,9 @@ def run_soak(
     """
     soak = _Soak(config or SoakConfig(), tracer)
     if registry is not None:
-        soak.processor.register_metrics(registry)
+        if soak.cfg.num_shards == 1:
+            soak.processor.register_metrics(registry)
+        else:
+            for shard, processor in enumerate(soak.processors):
+                processor.register_metrics(registry, prefix=f"nic{shard}")
     return soak.run()

@@ -201,9 +201,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     soak.add_argument("--queue-depth", type=int, default=4)
     soak.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the soak across N server stacks (key-hash routed; "
+             "default 1 = the original single-stack soak)",
+    )
+    soak.add_argument(
         "--json", action="store_true",
         help="emit the canonical JSON report (byte-identical across runs "
              "of the same arguments)",
+    )
+
+    multinic = sub.add_parser(
+        "multinic",
+        help="multi-NIC scaling, end-to-end: key-hash routed clients "
+             "drive N full server stacks (section 1, Table 3)",
+    )
+    multinic.add_argument("--nics", type=int, default=4,
+                          help="number of server stacks (NICs)")
+    multinic.add_argument("--ops", type=int, default=4000,
+                          help="total GET operations across all NICs")
+    multinic.add_argument("--corpus", type=int, default=512,
+                          help="distinct keys preloaded before the run")
+    multinic.add_argument("--batch-size", type=int, default=16)
+    multinic.add_argument("--seed", type=int, default=0)
+    multinic.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregate and per-shard statistics as JSON",
     )
     return parser
 
@@ -498,6 +521,7 @@ def _cmd_soak(args, out) -> int:
 
     config = SoakConfig(
         seed=args.seed,
+        num_shards=args.shards,
         num_keys=args.keys,
         ops_per_key=args.ops_per_key,
         overload=OverloadPolicy(
@@ -535,6 +559,50 @@ def _cmd_soak(args, out) -> int:
     return 0 if not problems else 1
 
 
+def _cmd_multinic(args, out) -> int:
+    from repro.core.config import KVDirectConfig
+    from repro.multi import MultiNICServer
+    from repro.workloads.keyspace import KeySpace
+
+    sim = Simulator()
+    server = MultiNICServer(
+        sim,
+        nic_count=args.nics,
+        config=KVDirectConfig(memory_size=4 << 20, seed=args.seed),
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=13, seed=args.seed)
+    for key, value in keyspace.pairs():
+        server.put_direct(key, value)
+    keys = [key for key, __ in keyspace.pairs()]
+    ops = [
+        KVOperation.get(keys[i % len(keys)], seq=i) for i in range(args.ops)
+    ]
+    stats = server.run_clients(
+        ops, batch_size=args.batch_size, max_outstanding_batches=8
+    )
+    if args.json:
+        payload = stats.as_dict()
+        payload["per_shard"] = [s.as_dict() for s in stats.per_shard]
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    rows = [
+        ["NICs", str(stats.shards)],
+        ["operations", str(stats.operations)],
+        ["elapsed", f"{stats.elapsed_ns / 1e3:.1f} us"],
+        ["aggregate throughput", f"{stats.throughput_mops:.2f} Mops"],
+        ["per-NIC throughput", f"{stats.per_shard_mops:.2f} Mops"],
+    ]
+    for index, shard in enumerate(stats.per_shard):
+        rows.append(
+            [f"nic{index}",
+             f"{shard.operations} ops, "
+             f"p99 {shard.latency_p99_ns / 1e3:.1f} us"]
+        )
+    print(format_table("Multi-NIC scaling (end-to-end)",
+                       ["metric", "value"], rows), file=out)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "ycsb": _cmd_ycsb,
@@ -547,6 +615,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "overload": _cmd_overload,
     "soak": _cmd_soak,
+    "multinic": _cmd_multinic,
 }
 
 

@@ -1,7 +1,9 @@
-"""Client-side machinery: batching, request pacing, latency measurement."""
+"""Client-side machinery: batching, request pacing, latency measurement,
+shard-aware routing."""
 
 from repro.client.client import ClientStats, KVClient
 from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
+from repro.client.router import RouterStats, ShardRouter
 
 __all__ = [
     "BackoffPolicy",
@@ -9,4 +11,6 @@ __all__ = [
     "ClientStats",
     "KVClient",
     "RetryBudget",
+    "RouterStats",
+    "ShardRouter",
 ]

@@ -174,15 +174,28 @@ class KVClient:
 
     def run(self, ops: List[KVOperation]) -> ClientStats:
         """Send all operations; blocks (simulated) until every response."""
+        done = self.start(ops)
+        self.sim.run(done)
+        return self.collect_stats(len(ops), self.sim.now)
+
+    def start(self, ops: List[KVOperation]) -> Process:
+        """Launch the run as a simulated process without blocking.
+
+        Lets several clients (e.g. one per shard, see
+        :class:`~repro.client.router.ShardRouter`) be driven concurrently
+        under one ``sim.run``; the returned process settles when every
+        batch has, and fails if a batch exhausts its retries."""
         if not ops:
             raise ConfigurationError("no operations to run")
-        done = self.sim.process(self._run(ops))
-        self.sim.run(done)
-        elapsed = self.sim.now
+        return self.sim.process(self._run(ops))
+
+    def collect_stats(self, operations: int, elapsed_ns: float) -> ClientStats:
+        """Snapshot this client's counters into a :class:`ClientStats`."""
+        elapsed = elapsed_ns
         return ClientStats(
-            operations=len(ops),
+            operations=operations,
             elapsed_ns=elapsed,
-            throughput_mops=mops(len(ops), elapsed),
+            throughput_mops=mops(operations, elapsed),
             latency_mean_ns=self.latencies.mean(),
             latency_p50_ns=self.latencies.percentile(50),
             latency_p95_ns=self.latencies.percentile(95),

@@ -1,0 +1,110 @@
+"""Shard-aware client routing for a multi-NIC server.
+
+"Clients route operations to the NIC owning the key, by key hash": the
+router mirrors the server's shard function
+(:func:`repro.core.hashing.shard_of`) on the client side, partitions an
+operation stream into per-shard substreams, and drives one full
+:class:`~repro.client.client.KVClient` (batching, wire flights, retries,
+deadlines) per shard concurrently under the shared simulator.
+
+Within a shard, operation order is preserved - same-key ops always hash
+to the same shard, so per-key serialization survives routing.  Across
+shards there is no ordering, exactly like independent NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.client.client import ClientStats, KVClient
+from repro.core.hashing import shard_of
+from repro.core.operations import KVOperation
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.stats import mops
+
+
+@dataclass
+class RouterStats:
+    """Outcome of one routed run across every shard."""
+
+    shards: int
+    operations: int
+    elapsed_ns: float
+    throughput_mops: float
+    #: Aggregate throughput divided by shard count.
+    per_shard_mops: float
+    #: One ClientStats per shard client that ran (empty shards excluded).
+    per_shard: List[ClientStats] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "shards": float(self.shards),
+            "operations": float(self.operations),
+            "elapsed_ns": self.elapsed_ns,
+            "throughput_mops": self.throughput_mops,
+            "per_shard_mops": self.per_shard_mops,
+        }
+
+
+class ShardRouter:
+    """One KVClient per server stack, routed by key hash."""
+
+    def __init__(self, sim: Simulator, stacks: Sequence, **client_kwargs):
+        if not stacks:
+            raise ConfigurationError("need at least one stack to route to")
+        self.sim = sim
+        self.stacks = list(stacks)
+        #: One network client per stack, created through the stack so each
+        #: client talks to its own ethernet port.
+        self.clients: List[KVClient] = [
+            stack.client(**client_kwargs) for stack in self.stacks
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self.stacks)
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard owning a key (mirrors the server's function)."""
+        return shard_of(key, self.shards)
+
+    def partition(
+        self, ops: Sequence[KVOperation]
+    ) -> List[List[KVOperation]]:
+        """Split an op stream into per-shard substreams, order-preserving
+        within each shard."""
+        parts: List[List[KVOperation]] = [[] for __ in range(self.shards)]
+        for op in ops:
+            parts[self.shard_of(op.key)].append(op)
+        return parts
+
+    def run(self, ops: Sequence[KVOperation]) -> RouterStats:
+        """Route and send all operations; blocks (simulated) until every
+        shard's client finished, then aggregates their statistics."""
+        if not ops:
+            raise ConfigurationError("no operations to run")
+        parts = self.partition(ops)
+        start = self.sim.now
+        procs = []
+        ran: List[int] = []
+        for index, (client, part) in enumerate(zip(self.clients, parts)):
+            if part:
+                procs.append(client.start(part))
+                ran.append(index)
+        self.sim.run(self.sim.all_of(procs))
+        elapsed = self.sim.now - start
+        per_shard = [
+            self.clients[index].collect_stats(len(parts[index]), elapsed)
+            for index in ran
+        ]
+        total = mops(len(ops), elapsed)
+        return RouterStats(
+            shards=self.shards,
+            operations=len(ops),
+            elapsed_ns=elapsed,
+            throughput_mops=total,
+            per_shard_mops=total / self.shards,
+            per_shard=per_shard,
+        )

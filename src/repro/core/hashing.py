@@ -29,6 +29,26 @@ def bucket_index(key_hash: int, num_buckets: int) -> int:
     return key_hash % num_buckets
 
 
+def shard_of(key: bytes, shards: int) -> int:
+    """The shard (NIC) owning a key in a share-nothing deployment.
+
+    Uses bits 16..63 of the key hash so shard routing stays statistically
+    independent of each shard's bucket index (``bucket_index`` consumes
+    the hash modulo the bucket count, which is dominated by the low bits)
+    - otherwise every shard would see only a biased slice of its own
+    bucket space.
+
+    The surviving 48 bits are re-mixed with a splitmix64-style finalizer:
+    FNV-1a's high bits cluster badly on short sequential keys (e.g. the
+    big-endian integer keys of ``KeySpace``), enough to leave whole
+    shards empty without the extra avalanche.
+    """
+    h = fnv1a64(key) >> 16
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (h ^ (h >> 31)) % shards
+
+
 def secondary_hash(key_hash: int) -> int:
     """9-bit secondary hash from the high bits (independent of the index)."""
     return (key_hash >> (64 - SECONDARY_HASH_BITS)) & (

@@ -1,0 +1,276 @@
+"""The explicit stage pipeline of the KV processor.
+
+The processor's data path is a fixed graph of small stages::
+
+    decode --> admission --> issue (OoO) -.-> memory --> complete/respond
+                                          '-> (parked in the station)
+
+Each stage is an object implementing the :class:`Stage` interface and
+operating on a first-class :class:`OpContext` that carries everything an
+in-flight operation owns - the op itself, its response event, deadline,
+per-stage timestamps, and unwind state (station slot / reservation-station
+membership) - instead of threading that state through processor method
+locals.
+
+Stage-boundary behaviour is uniform and driven by the processor, not
+hand-placed inside each stage:
+
+- **deadline checks** run at every boundary a stage declares via
+  :attr:`Stage.deadline_boundary` (``decode``, ``admission``,
+  ``pipeline_start``); expiry is unwound according to the context's state
+  (no slot yet / slot held / admitted into the station),
+- **trace spans** for boundary events (``deadline.expired``) and stage
+  events are emitted through one processor hook,
+- **per-stage counters** (``processor.deadline.<boundary>``, the
+  admitted/main-pipeline counts) are bumped by the driver and the stage
+  declarations, never ad hoc.
+
+Stages are deliberately thin: they own *when to wait* (which simulated
+resources to yield on) and *what domain events to record*; the processor
+owns routing between stages and all completion/unwind paths, so the
+single-shard behaviour of the pipeline is byte-identical to the
+pre-refactor monolith (same span log, same metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from repro.core.ooo import Admission
+from repro.core.operations import KVOperation, KVResult
+from repro.errors import KVDirectError, ServerBusy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.processor import KVProcessor
+
+
+@dataclass
+class OpContext:
+    """Everything one in-flight operation carries through the pipeline.
+
+    One context is created per submitted client operation (and one,
+    without a response event, per internal station write-back).  Stages
+    mutate it; the processor routes it.
+    """
+
+    op: KVOperation
+    #: Event the client is waiting on; ``None`` for internal write-backs.
+    response: Optional[object] = None
+    #: Absolute simulated-time deadline, or ``None``.
+    deadline_ns: Optional[float] = None
+    #: Simulated time the op entered the pipeline (latency epoch).
+    submitted_ns: float = 0.0
+    #: Simulated entry time of each stage crossed, by stage name.
+    timestamps: Dict[str, float] = field(default_factory=dict)
+    #: True once a station token (in-flight slot) is held.
+    slot_held: bool = False
+    #: True once the op entered the reservation station (issue stage).
+    station_admitted: bool = False
+    #: Error that took the op out of the pipeline, if any.
+    error: Optional[BaseException] = None
+    #: Functional result + value-after, filled by the memory stage.
+    result: Optional[KVResult] = None
+    value_after: Optional[bytes] = None
+
+    @property
+    def seq(self) -> int:
+        return self.op.seq
+
+    def expired(self, now: float) -> bool:
+        """True if the context carries a deadline that has passed."""
+        return self.deadline_ns is not None and now > self.deadline_ns
+
+    def mark(self, stage: str, now: float) -> None:
+        """Record the entry time of one stage crossing."""
+        self.timestamps[stage] = now
+
+
+class Stage:
+    """One pipeline stage: a resource wait plus its domain bookkeeping.
+
+    :meth:`run` is a simulation generator: it yields the events the stage
+    waits on and returns ``True`` to hand the context to the next stage,
+    or ``False`` when the op left the pipeline inside the stage (shed,
+    failed - the stage has already routed the failure).  The driver
+    applies the uniform boundary behaviour (deadline check, expiry trace,
+    per-boundary counter) after every stage that declares
+    :attr:`deadline_boundary`.
+    """
+
+    #: Stage name; keys :attr:`OpContext.timestamps`.
+    name: str = "stage"
+    #: Deadline boundary checked by the driver after this stage, if any.
+    deadline_boundary: Optional[str] = None
+
+    def __init__(self, proc: "KVProcessor") -> None:
+        self.proc = proc
+
+    def run(self, ctx: OpContext) -> Generator:
+        raise NotImplementedError
+
+
+class DecodeStage(Stage):
+    """The fully pipelined batch/op decoder (one op per clock)."""
+
+    name = "decode"
+    deadline_boundary = "decode"
+
+    def run(self, ctx: OpContext) -> Generator:
+        yield self.proc.decoder.submit()
+        self.proc.emit(ctx, "decode")
+        return True
+
+
+class AdmissionStage(Stage):
+    """Bounded ingress admission (or the legacy blocking token pool).
+
+    Grants one reservation-station slot, recording ingress stall time;
+    under a configured overload policy the wait may instead fail with
+    :class:`~repro.errors.ServerBusy`, which this stage routes as a shed.
+    """
+
+    name = "admission"
+    deadline_boundary = "admission"
+
+    def run(self, ctx: OpContext) -> Generator:
+        proc = self.proc
+        if proc.admission is not None:
+            grant = proc.admission.submit(ctx.op)
+            if not grant.triggered:
+                proc.station.record_full_stall()
+            stall_start = proc.sim.now
+            try:
+                yield grant
+            except ServerBusy as exc:
+                proc.counters.add("shed_ops")
+                proc.emit(ctx, "shed", f"policy={exc.policy}")
+                proc.fail_before_admission(ctx, exc)
+                return False
+            if proc.sim.now > stall_start:
+                proc.stall_times.record(proc.sim.now - stall_start)
+        else:
+            grant = proc.inflight.acquire()
+            if not grant.triggered:
+                proc.station.record_full_stall()
+                stall_start = proc.sim.now
+                yield grant
+                proc.stall_times.record(proc.sim.now - stall_start)
+            else:
+                yield grant
+        ctx.slot_held = True
+        return True
+
+
+class IssueStage(Stage):
+    """Reservation-station issue: execute independent ops out of order,
+    park (conservatively) dependent ones for data forwarding."""
+
+    name = "issue"
+
+    def run(self, ctx: OpContext) -> Generator:
+        proc = self.proc
+        proc.counters.add("admitted")
+        admission = proc.station.admit(ctx.op)
+        ctx.station_admitted = True
+        if admission is Admission.EXECUTE:
+            proc.emit(
+                ctx, "station.execute",
+                f"occupancy={proc.station.occupancy}",
+            )
+            proc.sim.process(proc._main_pipeline(ctx))
+        else:
+            proc.emit(
+                ctx, "station.queued",
+                f"occupancy={proc.station.occupancy}",
+            )
+        # QUEUED ops sleep in the station until forwarding or next_issue
+        # resolves them; either path fires their response event.
+        return True
+        yield  # pragma: no cover - makes run() a generator; never reached
+
+
+class MemoryStage(Stage):
+    """Execute one op against the hash table, then replay every memory
+    access it made through the memory access engine (NIC DRAM cache +
+    PCIe DMA) plus any compiled λ pipeline occupancy."""
+
+    name = "memory"
+    #: Checked by the driver at stage *entry* (the op may have expired
+    #: while parked in the reservation station).
+    deadline_boundary = "pipeline_start"
+
+    def run(self, ctx: OpContext) -> Generator:
+        proc = self.proc
+        proc.emit(ctx, "pipeline.start")
+        memory = proc.store.memory
+        memory.start_trace()
+        try:
+            result, value_after = proc.execute_functional(ctx.op)
+        except KVDirectError as exc:
+            memory.stop_trace()
+            proc.fail_op(ctx, exc)
+            return False
+        trace = memory.stop_trace()
+        # Dependent accesses replay serially: a record read cannot start
+        # before its bucket read returned the pointer.
+        replay_start = proc.sim.now
+        try:
+            for kind, addr, size in trace:
+                yield proc.engine.access(
+                    addr, size, write=(kind == "write"), seq=ctx.seq
+                )
+            compute_ns = proc.compute_time(ctx.op, value_after)
+            if compute_ns > 0:
+                yield proc.sim.timeout(compute_ns)
+        except KVDirectError as exc:
+            # Graceful degradation: an unrecoverable hardware fault (DMA
+            # retry exhaustion, uncorrectable ECC error) fails only this
+            # operation - the pipeline, its dependents, and the rest of
+            # the simulation keep running.
+            proc.memory_time.record(proc.sim.now - replay_start)
+            proc.counters.add("fault_failed_replays")
+            proc.fail_op(ctx, exc)
+            return False
+        proc.memory_time.record(proc.sim.now - replay_start)
+        proc.counters.add("main_pipeline_ops")
+        proc.emit(ctx, "pipeline.done")
+        ctx.result = result
+        ctx.value_after = value_after
+        return True
+
+
+class CompleteStage(Stage):
+    """Completion/respond: resolve the reservation station, answer the
+    client, forward data to dependents, and re-issue write-backs and
+    newly unblocked ops into the memory stage."""
+
+    name = "complete"
+
+    def resolve(self, ctx: OpContext) -> None:
+        """Synchronous completion routing (no simulated resource wait)."""
+        proc = self.proc
+        completion = proc.station.complete(ctx.op, ctx.value_after)
+        if ctx.seq >= 0:
+            proc.respond(ctx, ctx.result)
+        # Forwarded dependents execute one per clock in the dedicated
+        # execution engine.
+        for forwarded_op, forwarded_result in completion.responses:
+            proc.sim.process(
+                proc._deliver_forwarded(forwarded_op, forwarded_result)
+            )
+        if completion.writeback is not None:
+            proc.counters.add("writebacks")
+            proc.emit(ctx, "station.writeback")
+            proc.sim.process(
+                proc._main_pipeline(proc.context_for(completion.writeback))
+            )
+        if completion.next_issue is not None:
+            proc.sim.process(
+                proc._main_pipeline(proc.context_for(completion.next_issue))
+            )
+
+    def run(self, ctx: OpContext) -> Generator:  # pragma: no cover
+        self.resolve(ctx)
+        return True
+        yield  # makes run() a generator; never reached

@@ -1,18 +1,26 @@
 """The timed KV processor pipeline (Figure 4).
 
-Couples the functional store to the hardware models:
+Couples the functional store to the hardware models through the explicit
+stage pipeline defined in :mod:`repro.core.pipeline`:
 
-- operations enter through a fully pipelined **decoder** (one per clock at
-  180 MHz),
-- the **reservation station** (:mod:`repro.core.ooo`) admits independent
-  operations and parks dependents,
-- the **main processing pipeline** executes an operation against the real
-  hash table, then replays every memory access it made through the
-  **memory access engine** (NIC DRAM cache + PCIe DMA, with the load
-  dispatcher routing),
-- on completion the station forwards data to dependents (one per clock in
-  the dedicated execution engine) and emits at most one write-back,
-- responses exit through the network model.
+- operations enter through a fully pipelined **decode** stage (one per
+  clock at 180 MHz),
+- the **admission** stage grants bounded in-flight slots (optionally
+  fronted by the overload-control ingress queue),
+- the **issue** stage runs the reservation station
+  (:mod:`repro.core.ooo`): independent operations execute out of order,
+  dependents are parked for data forwarding,
+- the **memory** stage executes an operation against the real hash table,
+  then replays every memory access it made through the **memory access
+  engine** (NIC DRAM cache + PCIe DMA, with the load dispatcher routing),
+- the **complete** stage forwards data to dependents (one per clock in
+  the dedicated execution engine), emits at most one write-back, and
+  responds through the network model.
+
+Every in-flight operation is carried by one
+:class:`~repro.core.pipeline.OpContext`; deadline checks, expiry traces
+and per-boundary counters are uniform stage-boundary behaviour applied by
+this driver, not hand-placed calls inside stages.
 
 Throughput = completed operations / simulated time; latency per operation
 is measured from submission to response.
@@ -20,20 +28,28 @@ is measured from submission to response.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.admission import IngressQueue
 from repro.core.config import KVDirectConfig
-from repro.core.ooo import Admission, ReservationStation
+from repro.core.ooo import ReservationStation
 from repro.core.operations import KVOperation, KVResult, OpType
+from repro.core.pipeline import (
+    AdmissionStage,
+    CompleteStage,
+    DecodeStage,
+    IssueStage,
+    MemoryStage,
+    OpContext,
+)
 from repro.core.store import KVDirectStore
 from repro.core.vector import apply_operation
 from repro.dram.cache import DramCache, ECCFaultPath
 from repro.dram.nic import NICDram
+from repro.driver import run_closed_loop  # noqa: F401  (re-exported API)
 from repro.errors import (
     DeadlineExceeded,
     KVDirectError,
-    ServerBusy,
     SimulationError,
 )
 from repro.memory.dispatcher import LoadDispatcher
@@ -128,7 +144,7 @@ class KVProcessor:
             tracer=tracer,
         )
 
-        # -- pipeline stages ------------------------------------------------
+        # -- pipeline resources ---------------------------------------------
         cycle = cfg.cycle_ns
         self.decoder = FIFOServer(
             sim, cycle, latency_ns=_DECODE_DEPTH * cycle, name="decode"
@@ -152,9 +168,25 @@ class KVProcessor:
             else None
         )
 
+        # -- pipeline stages ------------------------------------------------
+        #: Ingress-side stages, driven in order for every submitted op.
+        self.front_stages = (
+            DecodeStage(self),
+            AdmissionStage(self),
+            IssueStage(self),
+        )
+        self.memory_stage = MemoryStage(self)
+        self.complete_stage = CompleteStage(self)
+        #: Every stage by name (introspection / docs).
+        self.stages = {
+            stage.name: stage
+            for stage in (*self.front_stages, self.memory_stage,
+                          self.complete_stage)
+        }
+
         # -- bookkeeping -----------------------------------------------------
-        self._waiting: Dict[int, Event] = {}  # id(op) -> response event
-        self._deadlines: Dict[int, float] = {}  # id(op) -> absolute ns
+        #: Live OpContext per in-flight client op, keyed by id(op).
+        self._contexts: Dict[int, OpContext] = {}
         self.counters = Counter()
         self.latencies = Histogram()
         #: Time each main-pipeline op spent in memory accesses (ns).
@@ -181,188 +213,53 @@ class KVProcessor:
         :class:`~repro.core.admission.OverloadPolicy` the event may also
         fail with :class:`~repro.errors.ServerBusy` when the op is shed.
         """
-        response = self.sim.event()
-        self._waiting[id(op)] = response
-        if deadline_ns is not None:
-            self._deadlines[id(op)] = deadline_ns
-        self.sim.process(self._ingress(op))
-        return response
+        ctx = OpContext(
+            op=op,
+            response=self.sim.event(),
+            deadline_ns=deadline_ns,
+            submitted_ns=self.sim.now,
+        )
+        self._contexts[id(op)] = ctx
+        self.sim.process(self._ingress(ctx))
+        return ctx.response
 
     def submit_many(self, ops: List[KVOperation]) -> List[Event]:
         return [self.submit(op) for op in ops]
 
-    # -- pipeline -----------------------------------------------------------------
+    # -- stage hooks (called by repro.core.pipeline stages) --------------------
 
-    def _trace(self, seq: int, stage: str, detail: str = "") -> None:
+    def emit(self, ctx: OpContext, stage: str, detail: str = "") -> None:
+        """Record one trace span for a context's stage crossing."""
         if self.tracer is not None:
-            self.tracer.emit(seq, stage, detail)
+            self.tracer.emit(ctx.seq, stage, detail)
 
-    def _expired(self, op: KVOperation) -> bool:
-        """True if ``op`` carries a deadline that has already passed."""
-        deadline = self._deadlines.get(id(op))
-        return deadline is not None and self.sim.now > deadline
+    def context_for(self, op: KVOperation) -> OpContext:
+        """The live context of ``op``, or a fresh internal one.
 
-    def _fail_before_admission(
-        self, op: KVOperation, exc: KVDirectError
+        Station write-backs (seq < 0) are synthesized inside the
+        reservation station and never crossed ingress, so they get an
+        ephemeral context with no response event and no deadline.
+        """
+        ctx = self._contexts.get(id(op))
+        if ctx is None:
+            ctx = OpContext(op=op, submitted_ns=self.sim.now)
+            ctx.station_admitted = True
+        return ctx
+
+    def fail_before_admission(
+        self, ctx: OpContext, exc: KVDirectError
     ) -> None:
         """Fail an op that never reached the reservation station.
 
         Nothing to unwind: no station slot, no inflight token, no store
         state - just surface the error on the response event.
         """
-        self._deadlines.pop(id(op), None)
-        event = self._waiting.pop(id(op), None)
-        if event is not None:
-            event.fail(exc)
+        self._contexts.pop(id(ctx.op), None)
+        ctx.error = exc
+        if ctx.response is not None:
+            ctx.response.fail(exc)
 
-    def _expire(self, op: KVOperation, stage: str) -> None:
-        """Fail a not-yet-admitted op whose deadline passed at ``stage``."""
-        self.deadline_counters.add(stage)
-        self._trace(op.seq, "deadline.expired", f"stage={stage}")
-        deadline = self._deadlines.get(id(op), 0.0)
-        self._fail_before_admission(
-            op,
-            DeadlineExceeded(
-                f"op seq={op.seq} missed its deadline at the {stage} "
-                f"boundary ({self.sim.now - deadline:.0f} ns late)",
-                stage=stage,
-            ),
-        )
-
-    def _ingress(self, op: KVOperation) -> Generator:
-        start = self.sim.now
-        self._trace(op.seq, "ingress", f"op={op.op.name}")
-        # Stage 1: the decoder (one op per clock, fully pipelined).
-        yield self.decoder.submit()
-        self._trace(op.seq, "decode")
-        if self._expired(op):
-            self._expire(op, "decode")
-            return
-        # Stage 2: reservation-station admission (bounded in-flight ops).
-        if self.admission is not None:
-            grant = self.admission.submit(op)
-            if not grant.triggered:
-                self.station.record_full_stall()
-            stall_start = self.sim.now
-            try:
-                yield grant
-            except ServerBusy as exc:
-                self.counters.add("shed_ops")
-                self._trace(op.seq, "shed", f"policy={exc.policy}")
-                self._fail_before_admission(op, exc)
-                return
-            if self.sim.now > stall_start:
-                self.stall_times.record(self.sim.now - stall_start)
-        else:
-            grant = self.inflight.acquire()
-            if not grant.triggered:
-                self.station.record_full_stall()
-                stall_start = self.sim.now
-                yield grant
-                self.stall_times.record(self.sim.now - stall_start)
-            else:
-                yield grant
-        if self._expired(op):
-            # The slot was granted but the op is already dead: hand the
-            # token straight back before failing.
-            self._release_slot()
-            self._expire(op, "admission")
-            return
-        self.counters.add("admitted")
-        admission = self.station.admit(op)
-        if admission is Admission.EXECUTE:
-            self._trace(
-                op.seq, "station.execute",
-                f"occupancy={self.station.occupancy}",
-            )
-            self.sim.process(self._main_pipeline(op))
-        else:
-            self._trace(
-                op.seq, "station.queued",
-                f"occupancy={self.station.occupancy}",
-            )
-        # QUEUED ops sleep in the station until forwarding or next_issue
-        # resolves them; either path fires their response event.
-        self._stamp_on_response(op, start)
-
-    def _stamp_on_response(self, op: KVOperation, start: float) -> None:
-        event = self._waiting.get(id(op))
-        if event is None:  # pragma: no cover - defensive
-            return
-
-        def record(ev: Event) -> None:
-            self.latencies.record(self.sim.now - start)
-            self.completed += 1
-
-        event.add_callback(record)
-
-    def _main_pipeline(self, op: KVOperation) -> Generator:
-        """Execute one op against the table, replaying its DMA traffic."""
-        if op.seq >= 0 and self._expired(op):
-            # Already admitted, but dead before touching memory: fail it
-            # through the station so dependents are forwarded the key's
-            # true current value.  No store state was modified.
-            self.deadline_counters.add("pipeline_start")
-            self._trace(op.seq, "deadline.expired", "stage=pipeline_start")
-            self._fail_op(
-                op,
-                DeadlineExceeded(
-                    f"op seq={op.seq} missed its deadline at the "
-                    f"pipeline_start boundary",
-                    stage="pipeline_start",
-                ),
-            )
-            return
-        self._trace(op.seq, "pipeline.start")
-        memory = self.store.memory
-        memory.start_trace()
-        try:
-            result, value_after = self._execute_functional(op)
-        except KVDirectError as exc:
-            memory.stop_trace()
-            self._fail_op(op, exc)
-            return
-        trace = memory.stop_trace()
-        # Dependent accesses replay serially: a record read cannot start
-        # before its bucket read returned the pointer.
-        replay_start = self.sim.now
-        try:
-            for kind, addr, size in trace:
-                yield self.engine.access(
-                    addr, size, write=(kind == "write"), seq=op.seq
-                )
-            compute_ns = self._compute_time(op, value_after)
-            if compute_ns > 0:
-                yield self.sim.timeout(compute_ns)
-        except KVDirectError as exc:
-            # Graceful degradation: an unrecoverable hardware fault (DMA
-            # retry exhaustion, uncorrectable ECC error) fails only this
-            # operation - the pipeline, its dependents, and the rest of the
-            # simulation keep running.
-            self.memory_time.record(self.sim.now - replay_start)
-            self.counters.add("fault_failed_replays")
-            self._fail_op(op, exc)
-            return
-        self.memory_time.record(self.sim.now - replay_start)
-        self.counters.add("main_pipeline_ops")
-        self._trace(op.seq, "pipeline.done")
-        self._complete(op, result, value_after)
-
-    def _compute_time(self, op: KVOperation, value_after) -> float:
-        """Pipeline occupancy of the λ lanes for a vector operation."""
-        if self.hls is None or not op.carries_func:
-            return 0.0
-        if op.func_id not in self.hls:
-            return 0.0
-        compiled = self.hls.lookup(op.func_id)
-        vector = value_after if value_after is not None else b""
-        nelements = len(vector) // compiled.func.element_size
-        cycles = compiled.cycles_for(nelements)
-        if cycles:
-            self.counters.add("lambda_cycles", cycles)
-        return cycles * self.config.cycle_ns
-
-    def _execute_functional(
+    def execute_functional(
         self, op: KVOperation
     ) -> Tuple[KVResult, Optional[bytes]]:
         """Run the op on the hash table; also return the value afterwards
@@ -392,33 +289,21 @@ class KVProcessor:
                 table.put(op.key, new_value)
         return result, new_value
 
-    def _complete(
-        self, op: KVOperation, result: KVResult, value_after: Optional[bytes]
-    ) -> None:
-        completion = self.station.complete(op, value_after)
-        if op.seq >= 0:
-            self._respond(op, result)
-        # Forwarded dependents execute one per clock in the dedicated engine.
-        for forwarded_op, forwarded_result in completion.responses:
-            self.sim.process(
-                self._deliver_forwarded(forwarded_op, forwarded_result)
-            )
-        if completion.writeback is not None:
-            self.counters.add("writebacks")
-            self._trace(op.seq, "station.writeback")
-            self.sim.process(self._main_pipeline(completion.writeback))
-        if completion.next_issue is not None:
-            self.sim.process(self._main_pipeline(completion.next_issue))
+    def compute_time(self, op: KVOperation, value_after) -> float:
+        """Pipeline occupancy of the λ lanes for a vector operation."""
+        if self.hls is None or not op.carries_func:
+            return 0.0
+        if op.func_id not in self.hls:
+            return 0.0
+        compiled = self.hls.lookup(op.func_id)
+        vector = value_after if value_after is not None else b""
+        nelements = len(vector) // compiled.func.element_size
+        cycles = compiled.cycles_for(nelements)
+        if cycles:
+            self.counters.add("lambda_cycles", cycles)
+        return cycles * self.config.cycle_ns
 
-    def _deliver_forwarded(
-        self, op: KVOperation, result: KVResult
-    ) -> Generator:
-        yield self.forward_engine.submit()
-        self.counters.add("forwarded")
-        self._trace(op.seq, "station.forwarded")
-        self._respond(op, result)
-
-    def _fail_op(self, op: KVOperation, exc: KVDirectError) -> None:
+    def fail_op(self, ctx: OpContext, exc: KVDirectError) -> None:
         """Surface a server-side error (e.g. out of memory) to the client
         and unblock any dependents parked behind the failed op.
 
@@ -428,24 +313,133 @@ class KVProcessor:
         stands - either way ``table.get`` is the ground truth, and handing
         dependents ``None`` would forward stale data.
         """
+        op = ctx.op
         self.counters.add("failed_ops")
-        self._trace(op.seq, "failed", type(exc).__name__)
+        self.emit(ctx, "failed", type(exc).__name__)
         value_after = self.store.table.get(op.key)
         completion = self.station.complete(op, value_after)
-        if op.seq >= 0:
-            event = self._waiting.pop(id(op), None)
-            self._deadlines.pop(id(op), None)
+        if ctx.seq >= 0:
+            self._contexts.pop(id(op), None)
             self._release_slot()
-            if event is not None:
-                event.fail(exc)
+            ctx.error = exc
+            if ctx.response is not None:
+                ctx.response.fail(exc)
         for forwarded_op, forwarded_result in completion.responses:
             self.sim.process(
                 self._deliver_forwarded(forwarded_op, forwarded_result)
             )
         if completion.writeback is not None:
-            self.sim.process(self._main_pipeline(completion.writeback))
+            self.sim.process(
+                self._main_pipeline(self.context_for(completion.writeback))
+            )
         if completion.next_issue is not None:
-            self.sim.process(self._main_pipeline(completion.next_issue))
+            self.sim.process(
+                self._main_pipeline(self.context_for(completion.next_issue))
+            )
+
+    def respond(self, ctx: OpContext, result: KVResult) -> None:
+        if self._contexts.pop(id(ctx.op), None) is None:
+            raise SimulationError("response for unknown operation")
+        self._release_slot()
+        self.emit(ctx, "complete", f"ok={result.ok}")
+        ctx.response.succeed(result)
+
+    # -- pipeline driver -------------------------------------------------------
+
+    def _ingress(self, ctx: OpContext):
+        """Drive one context through the ingress-side stages.
+
+        Uniform stage-boundary behaviour lives here: after every stage
+        declaring a :attr:`~repro.core.pipeline.Stage.deadline_boundary`
+        the context's deadline is checked and expiry is unwound according
+        to how far the op got (see :meth:`_expire`).
+        """
+        ctx.submitted_ns = self.sim.now
+        self.emit(ctx, "ingress", f"op={ctx.op.op.name}")
+        for stage in self.front_stages:
+            ctx.mark(stage.name, self.sim.now)
+            alive = yield from stage.run(ctx)
+            if not alive:
+                return
+            if stage.deadline_boundary is not None and ctx.expired(
+                self.sim.now
+            ):
+                self._expire(ctx, stage.deadline_boundary)
+                return
+        self._stamp_on_response(ctx)
+
+    def _main_pipeline(self, ctx: OpContext):
+        """Drive one context through the memory stage, then complete it.
+
+        Entered from the issue stage (independent ops), from completion
+        (station write-backs and newly unblocked queued ops), and from
+        failure unwinds; the memory stage's deadline boundary is checked
+        at entry because the op may have expired while parked.
+        """
+        stage = self.memory_stage
+        if ctx.seq >= 0 and ctx.expired(self.sim.now):
+            # Already admitted, but dead before touching memory: fail it
+            # through the station so dependents are forwarded the key's
+            # true current value.  No store state was modified.
+            self._expire(ctx, stage.deadline_boundary)
+            return
+        ctx.mark(stage.name, self.sim.now)
+        alive = yield from stage.run(ctx)
+        if alive:
+            ctx.mark(self.complete_stage.name, self.sim.now)
+            self.complete_stage.resolve(ctx)
+
+    def _expire(self, ctx: OpContext, boundary: str) -> None:
+        """Uniform deadline-expiry handling at one stage boundary.
+
+        The boundary counter and trace span are always recorded; the
+        unwind depends on how far the context got - admitted into the
+        station (fail through it so dependents are forwarded), holding a
+        station slot (hand the token back), or neither.
+        """
+        self.deadline_counters.add(boundary)
+        self.emit(ctx, "deadline.expired", f"stage={boundary}")
+        if ctx.station_admitted:
+            self.fail_op(
+                ctx,
+                DeadlineExceeded(
+                    f"op seq={ctx.seq} missed its deadline at the "
+                    f"{boundary} boundary",
+                    stage=boundary,
+                ),
+            )
+            return
+        if ctx.slot_held:
+            # The slot was granted but the op is already dead: hand the
+            # token straight back before failing.
+            self._release_slot()
+        deadline = ctx.deadline_ns if ctx.deadline_ns is not None else 0.0
+        self.fail_before_admission(
+            ctx,
+            DeadlineExceeded(
+                f"op seq={ctx.seq} missed its deadline at the {boundary} "
+                f"boundary ({self.sim.now - deadline:.0f} ns late)",
+                stage=boundary,
+            ),
+        )
+
+    def _stamp_on_response(self, ctx: OpContext) -> None:
+        event = ctx.response
+        if event is None:  # pragma: no cover - defensive
+            return
+
+        def record(ev: Event) -> None:
+            self.latencies.record(self.sim.now - ctx.submitted_ns)
+            self.completed += 1
+
+        event.add_callback(record)
+
+    def _deliver_forwarded(self, op: KVOperation, result: KVResult):
+        yield self.forward_engine.submit()
+        self.counters.add("forwarded")
+        ctx = self.context_for(op)
+        self.emit(ctx, "station.forwarded")
+        self.respond(ctx, result)
 
     def _release_slot(self) -> None:
         """Return one station slot, via the ingress queue when present so
@@ -455,68 +449,74 @@ class KVProcessor:
         else:
             self.inflight.release()
 
-    def _respond(self, op: KVOperation, result: KVResult) -> None:
-        event = self._waiting.pop(id(op), None)
-        if event is None:
-            raise SimulationError("response for unknown operation")
-        self._deadlines.pop(id(op), None)
-        self._release_slot()
-        self._trace(op.seq, "complete", f"ok={result.ok}")
-        event.succeed(result)
-
     # -- measurement ------------------------------------------------------------------
 
     def register_metrics(
-        self, registry: Optional[MetricsRegistry] = None
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "",
     ) -> MetricsRegistry:
         """Register every layer's live metric objects under one registry.
 
         Hierarchical names follow ``docs/OBSERVABILITY.md``: ``processor``,
         ``station``, ``mem``, ``pcie.<link>``, ``dram.nic`` / ``dram.cache``,
         ``eth``, ``slab``, plus ``faults`` / ``dram.ecc`` / ``trace`` when
-        those subsystems are active.  Returns the registry for chaining.
+        those subsystems are active.  ``prefix`` namespaces everything for
+        shard-composed deployments (prefix ``nic0`` registers
+        ``nic0.processor.deadline.*`` and so on); the default empty prefix
+        keeps the single-NIC names byte-identical.  Returns the registry
+        for chaining.
         """
         registry = registry if registry is not None else MetricsRegistry()
-        registry.register("processor", self.counters)
-        registry.register("processor.latency_ns", self.latencies)
-        registry.register("processor.memory_time_ns", self.memory_time)
+
+        def scoped(name: str) -> str:
+            return f"{prefix}.{name}" if prefix else name
+
+        registry.register(scoped("processor"), self.counters)
+        registry.register(scoped("processor.latency_ns"), self.latencies)
+        registry.register(scoped("processor.memory_time_ns"), self.memory_time)
         registry.register_gauge(
-            "processor.completed_ops", lambda: self.completed
+            scoped("processor.completed_ops"), lambda: self.completed
         )
         registry.register_gauge(
-            "processor.throughput_mops", self.throughput_mops
+            scoped("processor.throughput_mops"), self.throughput_mops
         )
-        registry.register("processor.deadline", self.deadline_counters)
-        registry.register("station", self.station.counters)
+        registry.register(scoped("processor.deadline"), self.deadline_counters)
+        registry.register(scoped("station"), self.station.counters)
         registry.register_gauge(
-            "station.occupancy", lambda: self.station.occupancy
+            scoped("station.occupancy"), lambda: self.station.occupancy
         )
-        registry.register_gauge("station.busy_slots", self.station.busy_slots)
-        registry.register("station.stall_time_ns", self.stall_times)
+        registry.register_gauge(
+            scoped("station.busy_slots"), self.station.busy_slots
+        )
+        registry.register(scoped("station.stall_time_ns"), self.stall_times)
         if self.admission is not None:
-            registry.register("ingress", self.admission.counters)
-            registry.register("ingress.wait_ns", self.admission.wait_ns)
+            registry.register(scoped("ingress"), self.admission.counters)
+            registry.register(scoped("ingress.wait_ns"), self.admission.wait_ns)
             registry.register_gauge(
-                "ingress.depth", lambda: self.admission.depth
+                scoped("ingress.depth"), lambda: self.admission.depth
             )
         for link in self.dma.links:
-            registry.register(f"pcie.{link.name}", link.counters)
+            registry.register(scoped(f"pcie.{link.name}"), link.counters)
             registry.register(
-                f"pcie.{link.name}.read_latency_ns", link.read_latency_hist
+                scoped(f"pcie.{link.name}.read_latency_ns"),
+                link.read_latency_hist,
             )
-        registry.register("mem", self.engine.counters)
-        registry.register_gauge("mem.cache_hit_rate", self.engine.hit_rate)
-        registry.register("dram.nic", self.nic_dram.counters)
+        registry.register(scoped("mem"), self.engine.counters)
+        registry.register_gauge(
+            scoped("mem.cache_hit_rate"), self.engine.hit_rate
+        )
+        registry.register(scoped("dram.nic"), self.nic_dram.counters)
         if self.cache is not None:
-            registry.register("dram.cache", self.cache.stats)
+            registry.register(scoped("dram.cache"), self.cache.stats)
         if self.engine.ecc is not None:
-            registry.register("dram.ecc", self.engine.ecc.counters)
-        registry.register("eth", self.network.counters)
-        registry.register("slab", self.store.allocator.counters)
+            registry.register(scoped("dram.ecc"), self.engine.ecc.counters)
+        registry.register(scoped("eth"), self.network.counters)
+        registry.register(scoped("slab"), self.store.allocator.counters)
         if self.injector is not None:
-            registry.register("faults", self.injector.counters)
-        if self.tracer is not None:
-            registry.register("trace", self.tracer.counters)
+            registry.register(scoped("faults"), self.injector.counters)
+        if self.tracer is not None and scoped("trace") not in registry:
+            registry.register(scoped("trace"), self.tracer.counters)
         return registry
 
     def throughput_mops(self) -> float:
@@ -547,47 +547,3 @@ class KVProcessor:
             data["memory_time_p50_ns"] = self.memory_time.percentile(50)
             data["memory_time_mean_ns"] = self.memory_time.mean()
         return data
-
-
-def run_closed_loop(
-    processor: KVProcessor,
-    ops: List[KVOperation],
-    concurrency: int = 128,
-) -> Dict[str, float]:
-    """Drive a processor with a fixed number of outstanding operations.
-
-    Returns throughput and latency statistics - the measurement loop behind
-    Figures 13, 14, 16 and 17.
-    """
-    sim = processor.sim
-    queue = list(reversed(ops))
-    done = sim.event()
-    state = {"outstanding": 0, "submitted": 0}
-
-    def pump() -> None:
-        while queue and state["outstanding"] < concurrency:
-            op = queue.pop()
-            state["outstanding"] += 1
-            state["submitted"] += 1
-            processor.submit(op).add_callback(on_response)
-
-    def on_response(event) -> None:
-        state["outstanding"] -= 1
-        if queue:
-            pump()
-        elif state["outstanding"] == 0 and not done.triggered:
-            done.succeed()
-
-    start = sim.now
-    pump()
-    sim.run(done)
-    elapsed = sim.now - start
-    return {
-        "operations": float(len(ops)),
-        "elapsed_ns": elapsed,
-        "throughput_mops": mops(len(ops), elapsed),
-        "latency_p50_ns": processor.latencies.percentile(50),
-        "latency_p95_ns": processor.latencies.percentile(95),
-        "latency_p99_ns": processor.latencies.percentile(99),
-        "latency_mean_ns": processor.latencies.mean(),
-    }

@@ -1,0 +1,130 @@
+"""Shared closed-loop measurement harness.
+
+One driver for every "keep N ops outstanding until the list drains"
+loop in the repo: the single-processor measurement behind Figures 13,
+14, 16 and 17 (:func:`run_closed_loop`, re-exported from
+:mod:`repro.core.processor` for compatibility), the multi-NIC scaling
+measurement (:func:`run_closed_loop_sharded`, used by
+:class:`~repro.multi.multinic.MultiNICServer`), and the benchmarks.
+
+The pump pattern is deliberately callback-based rather than a simulated
+process: a response callback immediately refills the submission window,
+so the closed loop adds zero simulated latency between a completion and
+the next submission - the processor, not the harness, is the bottleneck
+being measured.
+
+This module intentionally knows nothing about :class:`KVProcessor`
+internals: any object with ``sim``, ``submit(op) -> Event`` and a
+``latencies`` histogram can be driven (duck typing also keeps the import
+graph acyclic - ``core.processor`` re-exports from here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.operations import KVOperation
+from repro.sim.stats import mops
+
+
+def _pump_lane(processor, pending: List[KVOperation], concurrency: int,
+               on_response) -> None:
+    """Keep up to ``concurrency`` ops outstanding on one processor.
+
+    ``pending`` is consumed in-place from the tail (pass a reversed
+    list); ``on_response`` fires once per settled op, after the window
+    has been refilled.
+    """
+    outstanding = {"count": 0}
+
+    def fill() -> None:
+        while pending and outstanding["count"] < concurrency:
+            op = pending.pop()
+            outstanding["count"] += 1
+            processor.submit(op).add_callback(drain)
+
+    def drain(event) -> None:
+        outstanding["count"] -= 1
+        fill()
+        on_response(event)
+
+    fill()
+
+
+def run_closed_loop(
+    processor,
+    ops: Sequence[KVOperation],
+    concurrency: int = 128,
+) -> Dict[str, float]:
+    """Drive one processor with a fixed number of outstanding operations.
+
+    Returns throughput and latency statistics - the measurement loop
+    behind Figures 13, 14, 16 and 17.
+    """
+    sim = processor.sim
+    pending = list(reversed(ops))
+    done = sim.event()
+    state = {"remaining": len(ops)}
+
+    def on_response(event) -> None:
+        state["remaining"] -= 1
+        if state["remaining"] == 0 and not done.triggered:
+            done.succeed()
+
+    start = sim.now
+    _pump_lane(processor, pending, concurrency, on_response)
+    if state["remaining"] == 0 and not done.triggered:
+        done.succeed()
+    sim.run(done)
+    elapsed = sim.now - start
+    return {
+        "operations": float(len(ops)),
+        "elapsed_ns": elapsed,
+        "throughput_mops": mops(len(ops), elapsed),
+        "latency_p50_ns": processor.latencies.percentile(50),
+        "latency_p95_ns": processor.latencies.percentile(95),
+        "latency_p99_ns": processor.latencies.percentile(99),
+        "latency_mean_ns": processor.latencies.mean(),
+    }
+
+
+def run_closed_loop_sharded(
+    server,
+    ops: Sequence[KVOperation],
+    concurrency_per_nic: int = 128,
+) -> Dict[str, float]:
+    """Drive every shard of a sharded server concurrently.
+
+    ``server`` needs ``sim``, ``nic_count``, ``shard_of(key) -> int`` and
+    a ``processors`` list; each shard gets its own closed-loop pump so a
+    slow shard never stalls the others' submission windows.  Returns
+    aggregate statistics (the Table 3 scaling measurement).
+    """
+    sim = server.sim
+    shards: List[List[KVOperation]] = [[] for __ in range(server.nic_count)]
+    for op in ops:
+        shards[server.shard_of(op.key)].append(op)
+    done = sim.event()
+    state = {"remaining": len(ops)}
+
+    def on_response(event) -> None:
+        state["remaining"] -= 1
+        if state["remaining"] == 0 and not done.triggered:
+            done.succeed()
+
+    start = sim.now
+    for processor, queue in zip(server.processors, shards):
+        if queue:
+            _pump_lane(processor, list(reversed(queue)),
+                       concurrency_per_nic, on_response)
+    if state["remaining"] == 0 and not done.triggered:
+        done.succeed()
+    sim.run(done)
+    elapsed = sim.now - start
+    return {
+        "nics": float(server.nic_count),
+        "operations": float(len(ops)),
+        "elapsed_ns": elapsed,
+        "throughput_mops": mops(len(ops), elapsed),
+        "per_nic_mops": mops(len(ops), elapsed) / server.nic_count,
+    }

@@ -21,11 +21,6 @@ class MalformedValueError(KVDirectError):
     """A malformed value was supplied (e.g. vector element mismatch)."""
 
 
-#: Deprecated alias for :class:`MalformedValueError`; kept for backwards
-#: compatibility with pre-1.1 code.  Do not use in new code.
-ValueError_ = MalformedValueError
-
-
 class SimulationError(KVDirectError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -1,5 +1,6 @@
-"""Multi-NIC scaling: many KV processors in one commodity server."""
+"""Multi-NIC scaling: many full server stacks in one commodity server."""
 
 from repro.multi.multinic import MultiNICServer
+from repro.multi.stack import ServerStack
 
-__all__ = ["MultiNICServer"]
+__all__ = ["MultiNICServer", "ServerStack"]

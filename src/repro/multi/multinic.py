@@ -4,102 +4,104 @@
 10 programmable NIC cards in a commodity server, we achieve 1.22 billion
 KV operations per second."
 
-Each NIC owns a disjoint shard of host memory (its own hash index and slab
-area) and its own PCIe links and network port, so NICs share nothing;
-clients route operations to the NIC owning the key, by key hash.
+The server is composed of N real :class:`~repro.multi.stack.ServerStack`
+bundles - each NIC owns its ethernet port, batch decoder, admission
+queue, KV processor, and a disjoint shard of host memory (its own hash
+index and slab area) plus its own PCIe links, so NICs share nothing.
+Clients route operations to the NIC owning the key, by key hash
+(:func:`repro.core.hashing.shard_of`); :meth:`run_clients` drives the
+whole stack end-to-end through the client/batching/wire layer, while
+:meth:`run_closed_loop` keeps the direct-submit measurement loop for the
+processor-bound scaling figures.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.client.router import RouterStats, ShardRouter
 from repro.core.config import KVDirectConfig
-from repro.core.hashing import fnv1a64
+from repro.core.hashing import shard_of
 from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor
-from repro.core.store import KVDirectStore
+from repro.driver import run_closed_loop_sharded
 from repro.errors import ConfigurationError
+from repro.multi.stack import ServerStack
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Event, Simulator
-from repro.sim.stats import mops
 
 
 class MultiNICServer:
-    """A server with N programmable NICs, each running a KV processor."""
+    """A server with N programmable NICs, each running a full stack."""
 
     def __init__(
         self,
         sim: Simulator,
         nic_count: int,
         config: Optional[KVDirectConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if nic_count <= 0:
             raise ConfigurationError("need at least one NIC")
         self.sim = sim
         self.nic_count = nic_count
         base = config or KVDirectConfig(memory_size=4 << 20)
-        self.processors: List[KVProcessor] = []
-        for i in range(nic_count):
-            shard_config = base.with_overrides(seed=base.seed + i)
-            store = KVDirectStore(shard_config)
-            self.processors.append(KVProcessor(sim, store))
+        #: The per-NIC stacks; stack i is named ``nic<i>`` and gets a
+        #: distinct seed so the shards' hardware jitter is independent.
+        self.stacks: List[ServerStack] = [
+            ServerStack(
+                sim,
+                base.with_overrides(seed=base.seed + i),
+                name=f"nic{i}",
+                tracer=tracer,
+            )
+            for i in range(nic_count)
+        ]
+
+    @property
+    def processors(self) -> List[KVProcessor]:
+        """The per-NIC KV processors (stack views)."""
+        return [stack.processor for stack in self.stacks]
 
     def shard_of(self, key: bytes) -> int:
         """The NIC owning a key.  Uses high hash bits so sharding stays
         independent of each shard's bucket index."""
-        return (fnv1a64(key) >> 16) % self.nic_count
+        return shard_of(key, self.nic_count)
 
     def submit(self, op: KVOperation) -> Event:
-        return self.processors[self.shard_of(op.key)].submit(op)
+        return self.stacks[self.shard_of(op.key)].submit(op)
 
     def put_direct(self, key: bytes, value: bytes) -> None:
         """Functional insert bypassing timing (benchmark preparation)."""
-        self.processors[self.shard_of(key)].store.put(key, value)
+        self.stacks[self.shard_of(key)].put_direct(key, value)
+
+    def router(self, **client_kwargs) -> ShardRouter:
+        """A shard-aware client router over this server's stacks."""
+        return ShardRouter(self.sim, self.stacks, **client_kwargs)
+
+    def run_clients(
+        self, ops: List[KVOperation], **client_kwargs
+    ) -> RouterStats:
+        """Drive all NICs end-to-end through the client/batching/wire
+        layer: one network client per NIC, key-hash routed."""
+        return self.router(**client_kwargs).run(ops)
 
     def run_closed_loop(
         self, ops: List[KVOperation], concurrency_per_nic: int = 128
     ) -> Dict[str, float]:
-        """Drive all NICs concurrently; returns aggregate statistics."""
-        sim = self.sim
-        shards: List[List[KVOperation]] = [[] for __ in range(self.nic_count)]
-        for op in ops:
-            shards[self.shard_of(op.key)].append(op)
-        done = sim.event()
-        state = {"remaining": len(ops)}
+        """Drive all NICs concurrently (direct submit); returns aggregate
+        statistics via the shared closed-loop harness."""
+        return run_closed_loop_sharded(
+            self, ops, concurrency_per_nic=concurrency_per_nic
+        )
 
-        def on_response(event) -> None:
-            state["remaining"] -= 1
-            if state["remaining"] == 0:
-                done.succeed()
-
-        def pump(processor: KVProcessor, queue: List[KVOperation]):
-            outstanding = {"count": 0}
-            pending = list(reversed(queue))
-
-            def fill() -> None:
-                while pending and outstanding["count"] < concurrency_per_nic:
-                    op = pending.pop()
-                    outstanding["count"] += 1
-                    processor.submit(op).add_callback(drain)
-
-            def drain(event) -> None:
-                outstanding["count"] -= 1
-                fill()
-                on_response(event)
-
-            fill()
-
-        start = sim.now
-        for processor, queue in zip(self.processors, shards):
-            if queue:
-                pump(processor, queue)
-        if state["remaining"] == 0:
-            done.succeed()
-        sim.run(done)
-        elapsed = sim.now - start
-        return {
-            "nics": float(self.nic_count),
-            "operations": float(len(ops)),
-            "elapsed_ns": elapsed,
-            "throughput_mops": mops(len(ops), elapsed),
-            "per_nic_mops": mops(len(ops), elapsed) / self.nic_count,
-        }
+    def register_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """One registry over every shard, namespaced per NIC
+        (``nic0.processor.deadline.*``, ``nic3.eth.*``, ...)."""
+        registry = registry if registry is not None else MetricsRegistry()
+        for stack in self.stacks:
+            stack.register_metrics(registry)
+        return registry

@@ -1,0 +1,109 @@
+"""One complete per-NIC server stack, instantiable N ways.
+
+The paper's multi-NIC scaling (section 1, Table 3) is share-nothing:
+each programmable NIC owns its ethernet port, batch decoder, admission
+queue, KV processor, hash index + slab area, and PCIe/NIC-DRAM memory
+substrate.  :class:`ServerStack` is that unit - everything one NIC
+needs, bundled so a sharded server is literally ``N`` stacks plus a
+key-hash router (:class:`~repro.client.router.ShardRouter`), with no
+shared mutable state between stacks.
+
+A single stack is exactly the single-NIC server the rest of the repo
+uses: it builds the same :class:`~repro.core.processor.KVProcessor` over
+the same :class:`~repro.core.store.KVDirectStore`, so single-shard
+behaviour (metrics, traces) is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.client import KVClient
+from repro.core.config import KVDirectConfig
+from repro.core.operations import KVOperation
+from repro.core.processor import KVProcessor
+from repro.core.store import KVDirectStore
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Event, Simulator
+
+
+class ServerStack:
+    """Ethernet port + batch decoder + admission + processor + store +
+    memory substrate for one NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[KVDirectConfig] = None,
+        name: str = "nic0",
+        tracer: Optional[Tracer] = None,
+        store: Optional[KVDirectStore] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        if store is None:
+            store = KVDirectStore(config)
+        self.store = store
+        self.processor = KVProcessor(sim, store, tracer=tracer)
+
+    # -- component views (everything is owned by the processor) ---------------
+
+    @property
+    def config(self) -> KVDirectConfig:
+        return self.store.config
+
+    @property
+    def network(self):
+        """This stack's ethernet port."""
+        return self.processor.network
+
+    @property
+    def decoder(self):
+        """This stack's batch/op decode pipeline."""
+        return self.processor.decoder
+
+    @property
+    def admission(self):
+        """This stack's ingress queue (None on the legacy blocking path)."""
+        return self.processor.admission
+
+    @property
+    def station(self):
+        """This stack's reservation station."""
+        return self.processor.station
+
+    # -- operation entry points ------------------------------------------------
+
+    def client(self, **kwargs) -> KVClient:
+        """A network client wired to this stack (full batching + wire
+        path); kwargs forward to :class:`~repro.client.client.KVClient`."""
+        return KVClient(self.sim, self.processor, **kwargs)
+
+    def submit(
+        self, op: KVOperation, deadline_ns: Optional[float] = None
+    ) -> Event:
+        """Direct submission into the pipeline (bypasses the wire)."""
+        return self.processor.submit(op, deadline_ns=deadline_ns)
+
+    def put_direct(self, key: bytes, value: bytes) -> None:
+        """Functional insert bypassing timing (benchmark preparation)."""
+        self.store.put(key, value)
+
+    # -- observability ---------------------------------------------------------
+
+    def register_metrics(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: Optional[str] = None,
+    ) -> MetricsRegistry:
+        """Register every layer of this stack under its shard namespace.
+
+        Defaults to the stack's name, so stack ``nic0`` exports
+        ``nic0.processor.deadline.*``, ``nic0.station.*`` and so on
+        alongside its siblings in one registry.  Pass ``prefix=""`` for
+        the unnamespaced single-NIC layout.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        scope = self.name if prefix is None else prefix
+        return self.processor.register_metrics(registry, prefix=scope)

@@ -22,7 +22,6 @@ from repro.errors import (
     KVDirectError,
     MalformedValueError,
     RetryExhausted,
-    ValueError_,
 )
 from repro.faults import FaultInjector, FaultPlan, FaultWindow
 from repro.network.batching import (
@@ -244,8 +243,7 @@ class TestBatchIntegrity:
 
 
 class TestErrorTaxonomy:
-    def test_malformed_value_error_alias(self):
-        assert ValueError_ is MalformedValueError
+    def test_malformed_value_is_a_kvdirect_error(self):
         assert issubclass(MalformedValueError, KVDirectError)
 
     def test_retry_exhausted_is_a_fault(self):

@@ -1,0 +1,33 @@
+"""Byte-parity against pre-refactor goldens.
+
+The stage-pipeline refactor must not change single-shard behaviour: the
+seeded trace span log and the default metrics export are compared
+byte-for-byte against goldens captured before the refactor (also checked
+by the CI sharding-smoke job with ``cmp``).
+"""
+
+import io
+import pathlib
+
+from repro.cli import main
+
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+
+
+def _run(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def test_trace_byte_identical_to_pre_refactor_golden():
+    output = _run("trace", "--seed", "7", "--ops", "200")
+    golden = (GOLDENS / "trace_seed7_ops200.log").read_text()
+    assert output == golden
+
+
+def test_metrics_prom_byte_identical_to_pre_refactor_golden():
+    output = _run("metrics", "--format", "prom")
+    golden = (GOLDENS / "metrics_default.prom").read_text()
+    assert output == golden

@@ -152,7 +152,7 @@ class TestClosedLoopConservation:
         )
         sim.run()
         assert all(e.triggered for e in events)
-        assert not processor._waiting
+        assert not processor._contexts
 
 
 class TestVectorOpsThroughPipeline:

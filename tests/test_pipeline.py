@@ -1,0 +1,156 @@
+"""The explicit stage pipeline: Stage interface, OpContext lifecycle,
+and uniform stage-boundary deadline behaviour."""
+
+import pytest
+
+from repro.core.operations import KVOperation
+from repro.core.pipeline import (
+    AdmissionStage,
+    CompleteStage,
+    DecodeStage,
+    IssueStage,
+    MemoryStage,
+    OpContext,
+    Stage,
+)
+from repro.core.processor import KVProcessor
+from repro.core.store import KVDirectStore
+from repro.errors import DeadlineExceeded
+from repro.sim import Simulator
+
+
+def _processor(**overrides):
+    sim = Simulator()
+    store = KVDirectStore.create(memory_size=2 << 20, **overrides)
+    return sim, KVProcessor(sim, store)
+
+
+class TestStageGraph:
+    def test_front_stage_order(self):
+        __, proc = _processor()
+        assert [type(s) for s in proc.front_stages] == [
+            DecodeStage, AdmissionStage, IssueStage,
+        ]
+        assert isinstance(proc.memory_stage, MemoryStage)
+        assert isinstance(proc.complete_stage, CompleteStage)
+
+    def test_stage_names_are_unique_and_registered(self):
+        __, proc = _processor()
+        assert set(proc.stages) == {
+            "decode", "admission", "issue", "memory", "complete",
+        }
+        for name, stage in proc.stages.items():
+            assert stage.name == name
+            assert isinstance(stage, Stage)
+
+    def test_deadline_boundaries_declared_by_stages(self):
+        """Every deadline boundary the processor can report comes from a
+        stage declaration, not a hand-placed check."""
+        __, proc = _processor()
+        boundaries = {
+            s.deadline_boundary
+            for s in proc.stages.values()
+            if s.deadline_boundary is not None
+        }
+        assert boundaries == {"decode", "admission", "pipeline_start"}
+
+    def test_base_stage_run_is_abstract(self):
+        __, proc = _processor()
+        with pytest.raises(NotImplementedError):
+            next(Stage(proc).run(OpContext(op=KVOperation.get(b"k", seq=0))))
+
+
+class TestOpContext:
+    def test_expiry_requires_a_deadline(self):
+        ctx = OpContext(op=KVOperation.get(b"k", seq=0))
+        assert not ctx.expired(1e12)
+        ctx.deadline_ns = 100.0
+        assert not ctx.expired(100.0)
+        assert ctx.expired(100.1)
+
+    def test_mark_records_stage_entry_times(self):
+        ctx = OpContext(op=KVOperation.get(b"k", seq=0))
+        ctx.mark("decode", 1.0)
+        ctx.mark("memory", 7.5)
+        assert ctx.timestamps == {"decode": 1.0, "memory": 7.5}
+
+    def test_context_tracked_in_flight_and_released(self):
+        sim, proc = _processor()
+        op = KVOperation.get(b"missing", seq=0)
+        event = proc.submit(op)
+        ctx = proc._contexts[id(op)]
+        assert ctx.op is op
+        assert ctx.response is event
+        assert not ctx.slot_held and not ctx.station_admitted
+        sim.run()
+        assert event.triggered
+        assert not proc._contexts
+
+    def test_contexts_cross_every_front_stage(self):
+        sim, proc = _processor()
+        seen = {}
+        original = proc.emit
+
+        def spy(ctx, stage, detail=""):
+            if ctx.seq == 0:
+                seen[stage] = dict(ctx.timestamps)
+            original(ctx, stage, detail)
+
+        proc.emit = spy
+        proc.submit(KVOperation.put(b"k", b"v", seq=0))
+        sim.run()
+        # By completion the context crossed decode/admission/issue/memory.
+        assert set(seen["complete"]) >= {
+            "decode", "admission", "issue", "memory",
+        }
+
+    def test_writeback_context_is_internal(self):
+        __, proc = _processor()
+        wb = KVOperation.put(b"k", b"v", seq=-1)
+        ctx = proc.context_for(wb)
+        assert ctx.response is None
+        assert ctx.station_admitted
+        assert ctx.deadline_ns is None
+
+
+class TestUniformDeadlineBoundaries:
+    def _expire_at(self, deadline_ns):
+        sim, proc = _processor()
+        event = proc.submit(
+            KVOperation.get(b"k", seq=0), deadline_ns=deadline_ns
+        )
+        sim.run()
+        assert isinstance(event.exception, DeadlineExceeded)
+        return proc, event.exception
+
+    def test_decode_boundary(self):
+        proc, exc = self._expire_at(1.0)
+        assert exc.stage == "decode"
+        assert proc.deadline_counters["decode"] == 1
+
+    def test_boundary_counter_matches_exception_stage(self):
+        proc, exc = self._expire_at(1.0)
+        assert proc.deadline_counters[exc.stage] == 1
+        # Exactly one boundary fired for the single op.
+        assert sum(proc.deadline_counters.snapshot().values()) == 1
+
+    def test_admission_boundary_under_saturation(self):
+        """An op granted its slot after the deadline passed expires at
+        the admission boundary, releasing the slot it was granted."""
+
+        sim, proc = _processor(max_inflight=2, reservation_slots=2)
+        # Saturate the station with same-key updates (serialized).
+        blockers = [
+            proc.submit(KVOperation.put(b"hot", b"%04d" % i, seq=i))
+            for i in range(40)
+        ]
+        victim = proc.submit(
+            KVOperation.get(b"hot", seq=99), deadline_ns=sim.now + 400.0
+        )
+        sim.run()
+        assert all(b.triggered for b in blockers)
+        assert isinstance(victim.exception, DeadlineExceeded)
+        assert victim.exception.stage in ("admission", "pipeline_start")
+        assert proc.deadline_counters[victim.exception.stage] == 1
+        # The slot was handed back: the pool drained fully.
+        assert proc.inflight.available == proc.inflight.capacity
