@@ -11,7 +11,8 @@ from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor
 from repro.driver import run_closed_loop
 from repro.core.store import KVDirectStore
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, StageProfiler
+from repro.obs.bench_history import snapshot_from_run
 from repro.sim import Simulator
 from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
 
@@ -49,7 +50,8 @@ def build_processor(
     store, count = build_store(
         memory_size, fill_utilization, kv_size, **overrides
     )
-    return sim, store, KVProcessor(sim, store), count
+    processor = KVProcessor(sim, store, profiler=StageProfiler())
+    return sim, store, processor, count
 
 
 def ycsb_setup(
@@ -67,7 +69,7 @@ def ycsb_setup(
     for key, value in keyspace.pairs():
         store.put(key, value)
     store.reset_measurements()
-    processor = KVProcessor(sim, store)
+    processor = KVProcessor(sim, store, profiler=StageProfiler())
     generator = YCSBGenerator(keyspace, spec)
     return sim, processor, generator.operations(ops)
 
@@ -82,11 +84,14 @@ def measure_throughput(
 
     With ``export_name`` set and exporting enabled (pytest ran with
     ``--export-metrics DIR``), the processor's full registry is written to
-    ``DIR/<export_name>.prom`` in Prometheus text format after the run.
+    ``DIR/<export_name>.prom`` in Prometheus text format after the run,
+    alongside the per-stage profile (``<export_name>.profile.json``) and a
+    benchmark snapshot (``BENCH_<export_name>.json``).
     """
     stats = run_closed_loop(processor, ops, concurrency=concurrency)
     if export_name is not None:
         export_metrics(processor, export_name)
+        export_profile(processor, export_name, stats)
     return stats
 
 
@@ -114,6 +119,28 @@ def export_registry(
     slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
     path = EXPORT_METRICS_DIR / f"{slug}.prom"
     path.write_text(registry.to_prometheus())
+    return path
+
+
+def export_profile(
+    processor: KVProcessor, name: str, stats: dict
+) -> Optional[pathlib.Path]:
+    """Write ``name.profile.json`` + ``BENCH_name.json``, if exporting.
+
+    The profile JSON is the attached :class:`StageProfiler`'s per-class
+    stage/memory breakdown; the BENCH snapshot follows the
+    :mod:`repro.obs.bench_history` schema so ``repro bench diff`` (and
+    ``tools/check_bench.py``) accept it directly.  No-ops when exporting
+    is disabled or the processor was built without a profiler.
+    """
+    if EXPORT_METRICS_DIR is None or processor.profiler is None:
+        return None
+    EXPORT_METRICS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+    path = EXPORT_METRICS_DIR / f"{slug}.profile.json"
+    path.write_text(processor.profiler.to_json())
+    snapshot = snapshot_from_run(slug, processor, stats)
+    snapshot.save(str(EXPORT_METRICS_DIR / f"BENCH_{slug}.json"))
     return path
 
 

@@ -12,10 +12,7 @@ import pytest
 
 import _common
 from repro.analysis.report import format_series
-from repro.core.processor import KVProcessor
-from repro.core.store import KVDirectStore
-from repro.sim import Simulator
-from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
+from repro.workloads import WorkloadSpec
 
 KV_SIZES = [10, 15, 62, 126]
 PUT_RATIOS = [0.0, 0.5, 1.0]
@@ -25,19 +22,16 @@ MEMORY = 8 << 20
 
 
 def _throughput(kv_size: int, put_ratio: float, distribution: str) -> float:
-    sim = Simulator()
-    store = KVDirectStore.create(memory_size=MEMORY)
-    keyspace = KeySpace(count=CORPUS, kv_size=kv_size)
-    for key, value in keyspace.pairs():
-        store.put(key, value)
-    store.reset_measurements()
-    processor = KVProcessor(sim, store)
-    generator = YCSBGenerator(
-        keyspace, WorkloadSpec(put_ratio=put_ratio, distribution=distribution)
+    sim, processor, ops = _common.ycsb_setup(
+        WorkloadSpec(put_ratio=put_ratio, distribution=distribution),
+        kv_size,
+        corpus=CORPUS,
+        memory_size=MEMORY,
+        ops=OPS,
     )
     stats = _common.measure_throughput(
         processor,
-        generator.operations(OPS),
+        ops,
         concurrency=250,
         export_name=f"fig16_{distribution}_{kv_size}B_"
                     f"{int(put_ratio * 100)}put",

@@ -9,6 +9,9 @@
     python -m repro tune --kv-size 30 --utilization 0.2
     python -m repro metrics --ops 2000 --format prom
     python -m repro trace --seed 7 --ops 200
+    python -m repro profile --seed 7 --ops 2000
+    python -m repro bench run --name small-ycsb
+    python -m repro bench diff BENCH_a.json BENCH_b.json --tolerance 0.15
 """
 
 from __future__ import annotations
@@ -33,6 +36,25 @@ from repro.pcie import DMAEngine, PCIeLinkConfig
 from repro.sim import Simulator
 from repro.sim.stats import mops
 from repro.workloads import KeySpace, WorkloadSpec, YCSBGenerator
+
+
+def _latency_rows(stats, pcts=(50, 99)) -> List[List[str]]:
+    """Throughput + latency table rows shared by every run summary.
+
+    ``stats`` is a mapping with ``throughput_mops`` and
+    ``latency_p<pct>_ns`` keys (a :func:`~repro.driver.run_closed_loop`
+    result or a dataclass ``as_dict()``); latency fields that are missing
+    or None - a run where every op was shed or deadline-expired - render
+    as ``n/a`` instead of crashing.
+    """
+    rows = [["throughput", f"{stats['throughput_mops']:.2f} Mops"]]
+    for pct in pcts:
+        value = stats.get(f"latency_p{pct}_ns")
+        rows.append(
+            [f"p{pct} latency",
+             "n/a" if value is None else f"{value / 1e3:.2f} us"]
+        )
+    return rows
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -106,6 +128,66 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--sample", type=float, default=1.0,
         help="fraction of ops traced (deterministic hash sampling)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-stage latency attribution + DMA cost audit of a seeded "
+             "YCSB run (docs/OBSERVABILITY.md)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--ops", type=int, default=2000)
+    profile.add_argument("--corpus", type=int, default=1000)
+    profile.add_argument("--kv-size", type=int, default=13)
+    profile.add_argument("--put-ratio", type=float, default=0.5)
+    profile.add_argument("--memory-mib", type=int, default=8)
+    profile.add_argument(
+        "--shards", type=int, default=1,
+        help="profile an N-shard server (per-nic<i> prefixed profiles)",
+    )
+    profile.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="relative tolerance for the paper's ~1/GET ~2/PUT predictions",
+    )
+    profile.add_argument(
+        "--format", choices=("table", "json", "folded"), default="table",
+        help="terminal table, hierarchical JSON, or flamegraph folded "
+             "stacks (json/folded are byte-identical for a fixed seed)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark snapshot history: emit and diff BENCH_*.json "
+             "(docs/OBSERVABILITY.md)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="run a small seeded bench and write a snapshot"
+    )
+    bench_run.add_argument("--name", default="small-ycsb")
+    bench_run.add_argument("--seed", type=int, default=0)
+    bench_run.add_argument("--ops", type=int, default=2000)
+    bench_run.add_argument("--corpus", type=int, default=1000)
+    bench_run.add_argument("--kv-size", type=int, default=13)
+    bench_run.add_argument("--put-ratio", type=float, default=0.5)
+    bench_run.add_argument("--memory-mib", type=int, default=8)
+    bench_run.add_argument("--concurrency", type=int, default=128)
+    bench_run.add_argument(
+        "--output", metavar="PATH",
+        help="snapshot path (default: BENCH_<name>.json)",
+    )
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two snapshots direction-aware; exit 1 on regression",
+    )
+    bench_diff.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_diff.add_argument("current", help="current BENCH_*.json")
+    bench_diff.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative tolerance before a metric counts as regressed",
+    )
+    bench_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
     )
 
     atomics = sub.add_parser(
@@ -286,9 +368,7 @@ def _cmd_ycsb(args, out) -> int:
     rows = [
         ["workload", workload_name],
         ["KV size", f"{args.kv_size} B"],
-        ["throughput", f"{stats['throughput_mops']:.1f} Mops"],
-        ["p50 latency", f"{stats['latency_p50_ns'] / 1e3:.2f} us"],
-        ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
+        *_latency_rows(stats),
         ["DMA reads", str(processor.dma.reads)],
         ["DMA writes", str(processor.dma.writes)],
         ["cache hit rate", f"{processor.engine.hit_rate():.1%}"],
@@ -303,13 +383,13 @@ def _cmd_ycsb(args, out) -> int:
     return 0
 
 
-def _seeded_client_run(args, tracer=None):
+def _seeded_client_run(args, tracer=None, profiler=None):
     """One batched client run over a seeded corpus/workload/config.
 
-    Shared by ``repro metrics`` and ``repro trace``: everything (store
-    config, corpus, workload, latency distributions) is derived from
-    ``args.seed``, so two invocations with identical arguments replay the
-    identical simulation.
+    Shared by ``repro metrics``, ``repro trace`` and ``repro profile``:
+    everything (store config, corpus, workload, latency distributions) is
+    derived from ``args.seed``, so two invocations with identical
+    arguments replay the identical simulation.
     """
     sim = Simulator()
     store = KVDirectStore.create(
@@ -320,7 +400,7 @@ def _seeded_client_run(args, tracer=None):
     for key, value in keyspace.pairs():
         store.put(key, value)
     store.reset_measurements()
-    processor = KVProcessor(sim, store, tracer=tracer)
+    processor = KVProcessor(sim, store, tracer=tracer, profiler=profiler)
     client = KVClient(sim, processor, batch_size=16)
     generator = YCSBGenerator(
         keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
@@ -352,6 +432,207 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _profiled_run(args):
+    """Run the seeded profile workload; returns (profilers, allocators,
+    summary-stats dict)."""
+    from repro.obs.profiler import StageProfiler
+
+    if args.shards <= 1:
+        profiler = StageProfiler()
+        processor, __, stats = _seeded_client_run(args, profiler=profiler)
+        return [profiler], [processor.store.allocator], stats.as_dict()
+
+    from repro.core.config import KVDirectConfig
+    from repro.multi import MultiNICServer
+
+    sim = Simulator()
+    server = MultiNICServer(
+        sim,
+        nic_count=args.shards,
+        config=KVDirectConfig(
+            memory_size=args.memory_mib << 20, seed=args.seed
+        ),
+        profile=True,
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                        seed=args.seed)
+    for key, value in keyspace.pairs():
+        server.put_direct(key, value)
+    for stack in server.stacks:
+        stack.store.reset_measurements()
+    generator = YCSBGenerator(
+        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+    )
+    stats = server.run_clients(generator.operations(args.ops),
+                               batch_size=16)
+    allocators = [stack.store.allocator for stack in server.stacks]
+    return server.profilers, allocators, stats.as_dict()
+
+
+def _latency_identity(profilers):
+    """(checked, exact) per-op latency-identity counts across shards."""
+    checked = exact = 0
+    for profiler in profilers:
+        for record in profiler.records:
+            checked += 1
+            total = 0.0
+            for __, queue, service in record.segments:
+                total += queue + service
+            exact += total == record.latency_ns
+    return checked, exact
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.obs.attribution import audit
+    from repro.obs.profiler import (
+        STAGE_ORDER,
+        merge_folded,
+        merged_dict,
+    )
+
+    profilers, allocators, stats = _profiled_run(args)
+    checked, exact = _latency_identity(profilers)
+    report = audit(profilers, allocators=allocators,
+                   tolerance=args.tolerance)
+    ok = report.passed and checked == exact
+
+    if args.format == "folded":
+        for line in merge_folded(profilers):
+            print(line, file=out)
+        return 0 if ok else 1
+    if args.format == "json":
+        payload = {
+            "profile": merged_dict(profilers),
+            "audit": report.as_dict(),
+            "latency_identity": {"ops": checked, "exact": exact},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0 if ok else 1
+
+    # Per-class stage breakdown, aggregated across shards.
+    classes = {}
+    for profiler in profilers:
+        for cname, profile in profiler.classes.items():
+            entry = classes.setdefault(
+                cname, {"completed": 0, "latency_ns": 0.0, "stages": {}}
+            )
+            entry["completed"] += profile.completed
+            entry["latency_ns"] += profile.latency_total_ns
+            for sname, breakdown in profile.stages.items():
+                stage = entry["stages"].setdefault(sname, [0, 0.0, 0.0])
+                stage[0] += breakdown.ops
+                stage[1] += breakdown.queue_ns
+                stage[2] += breakdown.service_ns
+    rows = []
+    for cname in sorted(classes):
+        entry = classes[cname]
+        if not entry["completed"]:
+            continue
+        for sname in STAGE_ORDER:
+            if sname not in entry["stages"]:
+                continue
+            ops, queue, service = entry["stages"][sname]
+            rows.append([
+                cname, sname, str(ops),
+                f"{queue / 1e3:.2f}", f"{service / 1e3:.2f}",
+                f"{(queue + service) / ops / 1e3:.3f}",
+            ])
+        rows.append([
+            cname, "= total", str(entry["completed"]), "", "",
+            f"{entry['latency_ns'] / entry['completed'] / 1e3:.3f}",
+        ])
+    print(format_table(
+        "Per-stage latency attribution (simulated time)",
+        ["class", "stage", "ops", "queue us", "service us", "mean/op us"],
+        rows,
+    ), file=out)
+    identity = (
+        f"exact for {exact}/{checked} ops" if checked else "no completed ops"
+    )
+    print(f"latency identity (queue+service == e2e): {identity}", file=out)
+    print(file=out)
+    print(format_table(
+        "DMA cost audit vs. paper predictions",
+        ["check", "predicted", "measured", "status", "source"],
+        report.rows(),
+    ), file=out)
+    for key, value in sorted(report.info.items()):
+        shown = "n/a" if value is None else f"{value:.3f}"
+        print(f"info: {key} = {shown}", file=out)
+    print(f"audit verdict: {report.verdict}", file=out)
+    return 0 if ok else 1
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.obs import bench_history
+
+    if args.bench_command == "diff":
+        baseline = bench_history.load_snapshot(args.baseline)
+        current = bench_history.load_snapshot(args.current)
+        result = bench_history.diff(baseline, current,
+                                    tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True),
+                  file=out)
+        else:
+            print(format_table(
+                f"Bench diff ({result.baseline} -> {result.current}, "
+                f"tolerance {result.tolerance:.0%})",
+                ["metric", "baseline", "current", "change", "status"],
+                result.rows(),
+            ), file=out)
+            for note in result.notes:
+                print(f"note: {note}", file=out)
+            print("verdict:", "PASS" if result.passed else "FAIL", file=out)
+        return 0 if result.passed else 1
+
+    from repro.obs.profiler import StageProfiler
+
+    sim = Simulator()
+    store = KVDirectStore.create(
+        memory_size=args.memory_mib << 20, seed=args.seed
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                        seed=args.seed)
+    for key, value in keyspace.pairs():
+        store.put(key, value)
+    store.reset_measurements()
+    profiler = StageProfiler()
+    processor = KVProcessor(sim, store, profiler=profiler)
+    generator = YCSBGenerator(
+        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+    )
+    stats = run_closed_loop(
+        processor, generator.operations(args.ops),
+        concurrency=args.concurrency,
+    )
+    snapshot = bench_history.snapshot_from_run(
+        args.name, processor, stats,
+        extra={
+            "seed": args.seed,
+            "corpus": args.corpus,
+            "kv_size": args.kv_size,
+            "put_ratio": args.put_ratio,
+            "accesses_per_get": profiler.accesses_per_op("get"),
+            "accesses_per_put": profiler.accesses_per_op("put"),
+        },
+    )
+    path = args.output or f"BENCH_{args.name}.json"
+    snapshot.save(path)
+    rows = [
+        ["name", snapshot.name],
+        *_latency_rows(stats, pcts=(50, 95, 99)),
+        ["DMA per op", f"{snapshot.dma_per_op:.3f}"],
+        ["cache hit rate", f"{snapshot.cache_hit_rate:.1%}"],
+        ["config digest", snapshot.config_digest],
+        ["git rev", snapshot.git_rev],
+        ["snapshot", path],
+    ]
+    print(format_table("Bench snapshot", ["metric", "value"], rows),
+          file=out)
+    return 0
+
+
 def _cmd_atomics(args, out) -> int:
     sim = Simulator()
     store = KVDirectStore.create(
@@ -372,8 +653,7 @@ def _cmd_atomics(args, out) -> int:
     rows = [
         ["keys", str(args.keys)],
         ["mode", mode],
-        ["throughput", f"{stats['throughput_mops']:.2f} Mops"],
-        ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
+        *_latency_rows(stats, pcts=(99,)),
     ]
     print(format_table("Atomics result", ["metric", "value"], rows), file=out)
     return 0
@@ -456,10 +736,7 @@ def _cmd_replay(args, out) -> int:
         processor = KVProcessor(sim, store)
         stats = run_closed_loop(processor, ops,
                                 concurrency=args.concurrency)
-        rows += [
-            ["throughput", f"{stats['throughput_mops']:.1f} Mops"],
-            ["p99 latency", f"{stats['latency_p99_ns'] / 1e3:.2f} us"],
-        ]
+        rows += _latency_rows(stats, pcts=(99,))
     else:
         hits = 0
         for op in ops:
@@ -593,11 +870,9 @@ def _cmd_multinic(args, out) -> int:
         ["per-NIC throughput", f"{stats.per_shard_mops:.2f} Mops"],
     ]
     for index, shard in enumerate(stats.per_shard):
-        rows.append(
-            [f"nic{index}",
-             f"{shard.operations} ops, "
-             f"p99 {shard.latency_p99_ns / 1e3:.1f} us"]
-        )
+        rows.append([f"nic{index} operations", str(shard.operations)])
+        for label, value in _latency_rows(shard.as_dict(), pcts=(99,)):
+            rows.append([f"nic{index} {label}", value])
     print(format_table("Multi-NIC scaling (end-to-end)",
                        ["metric", "value"], rows), file=out)
     return 0
@@ -608,6 +883,8 @@ _COMMANDS = {
     "ycsb": _cmd_ycsb,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "atomics": _cmd_atomics,
     "pcie": _cmd_pcie,
     "tune": _cmd_tune,

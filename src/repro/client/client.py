@@ -190,16 +190,22 @@ class KVClient:
         return self.sim.process(self._run(ops))
 
     def collect_stats(self, operations: int, elapsed_ns: float) -> ClientStats:
-        """Snapshot this client's counters into a :class:`ClientStats`."""
+        """Snapshot this client's counters into a :class:`ClientStats`.
+
+        A run where every op was shed or deadline-expired records no
+        latencies; report zeros instead of crashing on the empty
+        histogram (zero goodput is a valid measurement).
+        """
         elapsed = elapsed_ns
+        empty = self.latencies.count == 0
         return ClientStats(
             operations=operations,
             elapsed_ns=elapsed,
             throughput_mops=mops(operations, elapsed),
-            latency_mean_ns=self.latencies.mean(),
-            latency_p50_ns=self.latencies.percentile(50),
-            latency_p95_ns=self.latencies.percentile(95),
-            latency_p99_ns=self.latencies.percentile(99),
+            latency_mean_ns=0.0 if empty else self.latencies.mean(),
+            latency_p50_ns=0.0 if empty else self.latencies.percentile(50),
+            latency_p95_ns=0.0 if empty else self.latencies.percentile(95),
+            latency_p99_ns=0.0 if empty else self.latencies.percentile(99),
             request_bytes_on_wire=self._request_bytes,
             response_bytes_on_wire=self._response_bytes,
             retries=self.retries,

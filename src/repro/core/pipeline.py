@@ -212,6 +212,8 @@ class MemoryStage(Stage):
             proc.fail_op(ctx, exc)
             return False
         trace = memory.stop_trace()
+        if proc.profiler is not None:
+            proc.profiler.record_table_accesses(ctx.seq, trace)
         # Dependent accesses replay serially: a record read cannot start
         # before its bucket read returned the pointer.
         replay_start = proc.sim.now

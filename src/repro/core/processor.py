@@ -55,6 +55,7 @@ from repro.errors import (
 from repro.memory.dispatcher import LoadDispatcher
 from repro.memory.engine import MemoryAccessEngine
 from repro.network.ethernet import EthernetLink
+from repro.obs.profiler import StageProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.pcie.dma import MultiLinkDMA
@@ -78,6 +79,7 @@ class KVProcessor:
         config: Optional[KVDirectConfig] = None,
         hls=None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> None:
         if store is None:
             store = KVDirectStore(config)
@@ -91,6 +93,14 @@ class KVProcessor:
         self.tracer = tracer
         if tracer is not None:
             tracer.bind_clock(lambda: self.sim.now)
+        #: Optional stage profiler (see :mod:`repro.obs.profiler`): purely
+        #: observational latency/DMA attribution per op class - attaching
+        #: one never changes simulated behaviour.
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.bind(
+                decode_service_ns=(_DECODE_DEPTH + 1) * store.config.cycle_ns
+            )
         #: Optional :class:`~repro.core.hls.HLSToolchain`: when provided,
         #: vector λs are charged their compiled pipeline cycles
         #: (duplicated lanes keep computation at PCIe rate by design, so
@@ -111,6 +121,7 @@ class KVProcessor:
             ),
             injector=self.injector,
             tracer=tracer,
+            profiler=profiler,
         )
         self.nic_dram = NICDram(sim, size=cfg.effective_nic_dram)
         dispatch_ratio = cfg.load_dispatch_ratio if cfg.use_nic_dram else 0.0
@@ -134,7 +145,7 @@ class KVProcessor:
             ecc = ECCFaultPath(self.injector)
         self.engine = MemoryAccessEngine(
             sim, self.dma, self.nic_dram, self.dispatcher, cache, ecc=ecc,
-            tracer=tracer,
+            tracer=tracer, profiler=profiler,
         )
         self.network = EthernetLink(
             sim,
@@ -220,6 +231,8 @@ class KVProcessor:
             submitted_ns=self.sim.now,
         )
         self._contexts[id(op)] = ctx
+        if self.profiler is not None:
+            self.profiler.observe_submit(ctx)
         self.sim.process(self._ingress(ctx))
         return ctx.response
 
@@ -256,6 +269,8 @@ class KVProcessor:
         """
         self._contexts.pop(id(ctx.op), None)
         ctx.error = exc
+        if self.profiler is not None and ctx.seq >= 0:
+            self.profiler.observe_failure(ctx, exc)
         if ctx.response is not None:
             ctx.response.fail(exc)
 
@@ -322,6 +337,8 @@ class KVProcessor:
             self._contexts.pop(id(op), None)
             self._release_slot()
             ctx.error = exc
+            if self.profiler is not None:
+                self.profiler.observe_failure(ctx, exc)
             if ctx.response is not None:
                 ctx.response.fail(exc)
         for forwarded_op, forwarded_result in completion.responses:
@@ -342,6 +359,8 @@ class KVProcessor:
             raise SimulationError("response for unknown operation")
         self._release_slot()
         self.emit(ctx, "complete", f"ok={result.ok}")
+        if self.profiler is not None:
+            self.profiler.observe_complete(ctx, self.sim.now)
         ctx.response.succeed(result)
 
     # -- pipeline driver -------------------------------------------------------

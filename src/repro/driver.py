@@ -77,15 +77,21 @@ def run_closed_loop(
         done.succeed()
     sim.run(done)
     elapsed = sim.now - start
-    return {
+    stats: Dict[str, float] = {
         "operations": float(len(ops)),
         "elapsed_ns": elapsed,
         "throughput_mops": mops(len(ops), elapsed),
-        "latency_p50_ns": processor.latencies.percentile(50),
-        "latency_p95_ns": processor.latencies.percentile(95),
-        "latency_p99_ns": processor.latencies.percentile(99),
-        "latency_mean_ns": processor.latencies.mean(),
     }
+    # A run where every op was shed or deadline-expired records no
+    # latencies; report None fields instead of crashing on the empty
+    # histogram (zero goodput is a valid measurement).
+    latencies = processor.latencies
+    empty = latencies.count == 0
+    stats["latency_p50_ns"] = None if empty else latencies.percentile(50)
+    stats["latency_p95_ns"] = None if empty else latencies.percentile(95)
+    stats["latency_p99_ns"] = None if empty else latencies.percentile(99)
+    stats["latency_mean_ns"] = None if empty else latencies.mean()
+    return stats
 
 
 def run_closed_loop_sharded(

@@ -24,6 +24,7 @@ from repro.sim.engine import Process, Simulator
 from repro.sim.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import StageProfiler
     from repro.obs.tracer import Tracer
 
 
@@ -40,6 +41,7 @@ class MemoryAccessEngine:
         line_size: int = CACHE_LINE_SIZE,
         ecc: Optional[ECCFaultPath] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["StageProfiler"] = None,
     ) -> None:
         self.sim = sim
         self.dma = dma
@@ -52,6 +54,8 @@ class MemoryAccessEngine:
         self.ecc = ecc
         #: Optional per-op tracer: routing decisions, hits/fills, ECC.
         self.tracer = tracer
+        #: Optional profiler: attributes cache events to op classes.
+        self.profiler = profiler
         self.counters = Counter()
 
     def access(
@@ -106,6 +110,8 @@ class MemoryAccessEngine:
         result = cache.access(line, write, full_line=full)
         if result.hit:
             self.counters.add("cache_hits")
+            if self.profiler is not None:
+                self.profiler.record_cache(seq, "hit")
             self._trace(seq, "dram.hit", f"line={line}")
             if not write and self.ecc is not None:
                 # A read serves data out of NIC DRAM: one word of the line
@@ -117,10 +123,14 @@ class MemoryAccessEngine:
             yield self.nic_dram.access(self.line_size, write=write)
             return
         self.counters.add("cache_misses")
+        if self.profiler is not None:
+            self.profiler.record_cache(seq, "miss")
         self._trace(seq, "dram.miss", f"line={line}")
         # Dirty eviction: read old line from NIC DRAM, write back over PCIe.
         if result.writeback_line is not None:
             self.counters.add("writebacks")
+            if self.profiler is not None:
+                self.profiler.record_cache(seq, "writeback")
             self._trace(
                 seq, "dram.writeback", f"line={result.writeback_line}"
             )
@@ -128,6 +138,8 @@ class MemoryAccessEngine:
             yield self.dma.write(self.line_size, seq)
         if result.needs_fill:
             self.counters.add("fills")
+            if self.profiler is not None:
+                self.profiler.record_cache(seq, "fill")
             self._trace(seq, "dram.fill", f"line={line}")
             yield self.dma.read(self.line_size, seq)
         # Install the (new or fetched) line in NIC DRAM.

@@ -27,6 +27,7 @@ from repro.core.processor import KVProcessor
 from repro.driver import run_closed_loop_sharded
 from repro.errors import ConfigurationError
 from repro.multi.stack import ServerStack
+from repro.obs.profiler import StageProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Event, Simulator
@@ -41,6 +42,7 @@ class MultiNICServer:
         nic_count: int,
         config: Optional[KVDirectConfig] = None,
         tracer: Optional[Tracer] = None,
+        profile: bool = False,
     ) -> None:
         if nic_count <= 0:
             raise ConfigurationError("need at least one NIC")
@@ -49,14 +51,27 @@ class MultiNICServer:
         base = config or KVDirectConfig(memory_size=4 << 20)
         #: The per-NIC stacks; stack i is named ``nic<i>`` and gets a
         #: distinct seed so the shards' hardware jitter is independent.
+        #: With ``profile=True`` each stack gets its own named
+        #: :class:`~repro.obs.profiler.StageProfiler` (``nic<i>`` prefixes
+        #: in merged exports).
         self.stacks: List[ServerStack] = [
             ServerStack(
                 sim,
                 base.with_overrides(seed=base.seed + i),
                 name=f"nic{i}",
                 tracer=tracer,
+                profiler=StageProfiler(name=f"nic{i}") if profile else None,
             )
             for i in range(nic_count)
+        ]
+
+    @property
+    def profilers(self) -> List[StageProfiler]:
+        """The per-NIC stage profilers (empty unless ``profile=True``)."""
+        return [
+            stack.profiler
+            for stack in self.stacks
+            if stack.profiler is not None
         ]
 
     @property

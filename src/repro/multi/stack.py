@@ -23,6 +23,7 @@ from repro.core.config import KVDirectConfig
 from repro.core.operations import KVOperation
 from repro.core.processor import KVProcessor
 from repro.core.store import KVDirectStore
+from repro.obs.profiler import StageProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Event, Simulator
@@ -39,13 +40,17 @@ class ServerStack:
         name: str = "nic0",
         tracer: Optional[Tracer] = None,
         store: Optional[KVDirectStore] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> None:
         self.sim = sim
         self.name = name
         if store is None:
             store = KVDirectStore(config)
         self.store = store
-        self.processor = KVProcessor(sim, store, tracer=tracer)
+        self.profiler = profiler
+        self.processor = KVProcessor(
+            sim, store, tracer=tracer, profiler=profiler
+        )
 
     # -- component views (everything is owned by the processor) ---------------
 

@@ -12,11 +12,17 @@ front door:
 - :class:`Tracer` — per-operation, sim-time-stamped spans for every
   pipeline stage an op crosses, with deterministic hash-based sampling so
   traces are byte-identical across seeded runs.
+- :class:`StageProfiler` — per-op-class queue/service decomposition of
+  end-to-end latency at every pipeline stage plus memory-system cost
+  attribution (table accesses, PCIe TLPs, NIC-DRAM cache events), with
+  the DMA-per-op audit in :mod:`repro.obs.attribution` and the benchmark
+  snapshot history in :mod:`repro.obs.bench_history`.
 
 See ``docs/OBSERVABILITY.md`` for the naming scheme and span schema.
 """
 
+from repro.obs.profiler import StageProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["MetricsRegistry", "Span", "Tracer"]
+__all__ = ["MetricsRegistry", "Span", "StageProfiler", "Tracer"]

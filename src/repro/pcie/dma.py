@@ -36,6 +36,7 @@ from repro.sim.stats import Counter, Histogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.obs.profiler import StageProfiler
     from repro.obs.tracer import Tracer
 
 
@@ -49,6 +50,7 @@ class DMAEngine:
         name: str = "pcie0",
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["StageProfiler"] = None,
     ) -> None:
         self.sim = sim
         self.config = config or PCIeLinkConfig()
@@ -57,6 +59,8 @@ class DMAEngine:
         self.injector = injector
         #: Optional per-op tracer: spans for transfers, retries, delays.
         self.tracer = tracer
+        #: Optional profiler: attributes completed TLPs to op classes.
+        self.profiler = profiler
         bytes_per_ns = self.config.bandwidth / 1e9
         #: NIC -> host direction (read requests, write request TLPs).
         self.tx = BandwidthServer(sim, bytes_per_ns, name=f"{name}.tx")
@@ -112,6 +116,8 @@ class DMAEngine:
         self.counters.add("dma_reads")
         self.counters.add("dma_read_bytes", nbytes)
         self.read_latency_hist.record(self.sim.now - start)
+        if self.profiler is not None:
+            self.profiler.record_dma(seq, "read", nbytes)
         self._trace(seq, "pcie.read", f"{self.name} {nbytes}B")
 
     def _fault_check(
@@ -164,6 +170,8 @@ class DMAEngine:
         self.sim.process(self._return_posted_credit())
         self.counters.add("dma_writes")
         self.counters.add("dma_write_bytes", nbytes)
+        if self.profiler is not None:
+            self.profiler.record_dma(seq, "write", nbytes)
         self._trace(seq, "pcie.write", f"{self.name} {nbytes}B")
 
     def _return_posted_credit(self) -> Generator[Event, None, None]:
@@ -206,6 +214,7 @@ class MultiLinkDMA:
         config_factory=PCIeLinkConfig.gen3_x8,
         injector: Optional["FaultInjector"] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["StageProfiler"] = None,
     ) -> None:
         if link_count <= 0:
             raise ValueError("link_count must be positive")
@@ -213,7 +222,7 @@ class MultiLinkDMA:
         self.links = [
             DMAEngine(
                 sim, config_factory(seed=i), name=f"pcie{i}",
-                injector=injector, tracer=tracer,
+                injector=injector, tracer=tracer, profiler=profiler,
             )
             for i in range(link_count)
         ]

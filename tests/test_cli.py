@@ -268,3 +268,92 @@ class TestTrace:
         for line in lines[:-1]:
             assert span_re.match(line), line
         assert lines[-1].startswith("# spans=")
+
+
+class TestProfile:
+    _FAST = ("--ops", "400", "--corpus", "200", "--memory-mib", "4")
+
+    def test_table_reports_identity_and_audit(self):
+        code, output = run_cli("profile", "--seed", "7", *self._FAST)
+        assert code == 0
+        assert "exact for 400/400 ops" in output
+        assert "accesses per GET" in output
+        assert "audit verdict: PASS" in output
+
+    def test_json_byte_identical_across_runs(self):
+        import json
+
+        code_a, first = run_cli(
+            "profile", "--seed", "7", "--format", "json", *self._FAST
+        )
+        code_b, second = run_cli(
+            "profile", "--seed", "7", "--format", "json", *self._FAST
+        )
+        assert code_a == code_b == 0
+        assert first == second
+        data = json.loads(first)
+        assert data["audit"]["verdict"] == "PASS"
+        assert data["latency_identity"]["exact"] == 400
+
+    def test_folded_lines(self):
+        code, output = run_cli(
+            "profile", "--seed", "7", "--format", "folded", *self._FAST
+        )
+        assert code == 0
+        for line in output.splitlines():
+            frame, count = line.rsplit(" ", 1)
+            assert len(frame.split(";")) == 3
+            assert int(count) > 0
+
+    def test_sharded_profile(self):
+        code, output = run_cli(
+            "profile", "--seed", "7", "--shards", "4",
+            "--format", "folded", *self._FAST
+        )
+        assert code == 0
+        assert any(line.startswith("nic0;") for line in output.splitlines())
+
+
+class TestBench:
+    _FAST = ("--ops", "400", "--corpus", "200", "--memory-mib", "4")
+
+    def test_run_writes_valid_snapshot(self, tmp_path):
+        import json
+
+        from repro.obs.bench_history import validate
+
+        out = tmp_path / "BENCH_unit.json"
+        code, output = run_cli(
+            "bench", "run", "--name", "unit", "--seed", "7",
+            "--output", str(out), *self._FAST
+        )
+        assert code == 0
+        assert validate(json.loads(out.read_text())) == []
+
+    def test_diff_identical_passes(self, tmp_path):
+        out = tmp_path / "BENCH_unit.json"
+        run_cli(
+            "bench", "run", "--name", "unit", "--seed", "7",
+            "--output", str(out), *self._FAST
+        )
+        code, output = run_cli("bench", "diff", str(out), str(out))
+        assert code == 0
+        assert "PASS" in output
+
+    def test_diff_flags_regression(self, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_unit.json"
+        run_cli(
+            "bench", "run", "--name", "unit", "--seed", "7",
+            "--output", str(out), *self._FAST
+        )
+        worse_path = tmp_path / "BENCH_worse.json"
+        worse = json.loads(out.read_text())
+        worse["throughput_mops"] *= 0.5
+        worse_path.write_text(json.dumps(worse))
+        code, output = run_cli(
+            "bench", "diff", str(out), str(worse_path)
+        )
+        assert code == 1
+        assert "REGRESSED" in output
