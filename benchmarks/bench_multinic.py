@@ -69,15 +69,13 @@ def _end_to_end_throughput(nic_count: int) -> float:
     return stats.throughput_mops
 
 
-def _direct_throughput(nic_count: int) -> float:
+def _direct_stats(nic_count: int) -> dict:
     server, __ = _server(nic_count, CORPUS)
     ops = [
         KVOperation.get(b"key%06d" % (i % CORPUS), seq=i)
         for i in range(OPS_PER_NIC * nic_count)
     ]
-    return server.run_closed_loop(ops, concurrency_per_nic=200)[
-        "throughput_mops"
-    ]
+    return server.run_closed_loop(ops, concurrency_per_nic=200)
 
 
 @pytest.fixture(scope="module")
@@ -86,8 +84,13 @@ def e2e_scaling():
 
 
 @pytest.fixture(scope="module")
-def scaling():
-    return [_direct_throughput(n) for n in NIC_COUNTS]
+def direct_stats():
+    return [_direct_stats(n) for n in NIC_COUNTS]
+
+
+@pytest.fixture(scope="module")
+def scaling(direct_stats):
+    return [stats["throughput_mops"] for stats in direct_stats]
 
 
 def test_multinic_end_to_end_scaling(benchmark, e2e_scaling, emit):
@@ -113,7 +116,7 @@ def test_multinic_end_to_end_scaling(benchmark, e2e_scaling, emit):
 
 def test_multinic_near_linear_scaling(benchmark, scaling, emit):
     benchmark.pedantic(
-        lambda: _direct_throughput(2), rounds=1, iterations=1
+        lambda: _direct_stats(2), rounds=1, iterations=1
     )
     per_nic = [t / n for t, n in zip(scaling, NIC_COUNTS)]
     emit(
@@ -130,6 +133,35 @@ def test_multinic_near_linear_scaling(benchmark, scaling, emit):
     # Per-NIC throughput stays within 20 % of the single-NIC value.
     for value in per_nic:
         assert value > per_nic[0] * 0.8
+
+
+def test_multinic_sharded_latency_percentiles(benchmark, direct_stats, emit):
+    """The sharded closed loop reports latency over the *merged* per-shard
+    histograms, so aggregate percentiles are comparable across NIC counts
+    (adding shards must not inflate the measured tail)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for stats in direct_stats:
+        for field in ("latency_p50_ns", "latency_p95_ns",
+                      "latency_p99_ns", "latency_mean_ns"):
+            assert stats[field] is not None and stats[field] > 0.0
+        assert (stats["latency_p50_ns"] <= stats["latency_p95_ns"]
+                <= stats["latency_p99_ns"])
+    emit(
+        "multinic_latency",
+        format_series(
+            "Multi-NIC direct submit: aggregate latency (ns)",
+            "NICs",
+            NIC_COUNTS,
+            [
+                ("p50", [s["latency_p50_ns"] for s in direct_stats]),
+                ("p99", [s["latency_p99_ns"] for s in direct_stats]),
+            ],
+        ),
+    )
+    # Sharding spreads a fixed per-shard load: the aggregate p99 stays in
+    # the same decade as the single-NIC tail rather than stacking up.
+    p99 = [s["latency_p99_ns"] for s in direct_stats]
+    assert max(p99) < 10 * min(p99)
 
 
 def test_multinic_order_of_magnitude_vs_single(benchmark, scaling, emit):

@@ -307,6 +307,16 @@ def _build_parser() -> argparse.ArgumentParser:
     multinic.add_argument("--batch-size", type=int, default=16)
     multinic.add_argument("--seed", type=int, default=0)
     multinic.add_argument(
+        "--direct", action="store_true",
+        help="direct-submit closed loop (no client/wire layer): reports "
+             "aggregate latency percentiles over the merged per-shard "
+             "histograms",
+    )
+    multinic.add_argument(
+        "--concurrency-per-nic", type=int, default=128,
+        help="outstanding ops per shard in --direct mode",
+    )
+    multinic.add_argument(
         "--json", action="store_true",
         help="emit the aggregate and per-shard statistics as JSON",
     )
@@ -624,6 +634,8 @@ def _cmd_bench(args, out) -> int:
         *_latency_rows(stats, pcts=(50, 95, 99)),
         ["DMA per op", f"{snapshot.dma_per_op:.3f}"],
         ["cache hit rate", f"{snapshot.cache_hit_rate:.1%}"],
+        ["wall clock", f"{snapshot.wall_clock_s:.3f} s"],
+        ["sim ops per wall s", f"{snapshot.sim_ops_per_wall_s:.0f}"],
         ["config digest", snapshot.config_digest],
         ["git rev", snapshot.git_rev],
         ["snapshot", path],
@@ -854,6 +866,26 @@ def _cmd_multinic(args, out) -> int:
     ops = [
         KVOperation.get(keys[i % len(keys)], seq=i) for i in range(args.ops)
     ]
+    if args.direct:
+        stats = server.run_closed_loop(
+            ops, concurrency_per_nic=args.concurrency_per_nic
+        )
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+            return 0
+        mean = stats.get("latency_mean_ns")
+        rows = [
+            ["NICs", str(int(stats["nics"]))],
+            ["operations", str(int(stats["operations"]))],
+            ["elapsed", f"{stats['elapsed_ns'] / 1e3:.1f} us"],
+            *_latency_rows(stats, pcts=(50, 95, 99)),
+            ["mean latency",
+             "n/a" if mean is None else f"{mean / 1e3:.2f} us"],
+            ["per-NIC throughput", f"{stats['per_nic_mops']:.2f} Mops"],
+        ]
+        print(format_table("Multi-NIC scaling (direct submit)",
+                           ["metric", "value"], rows), file=out)
+        return 0
     stats = server.run_clients(
         ops, batch_size=args.batch_size, max_outstanding_batches=8
     )

@@ -8,6 +8,10 @@ probing, but the index hash still needs reasonable uniformity.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
+import numpy as np
+
 from repro.constants import SECONDARY_HASH_BITS
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -52,5 +56,75 @@ def shard_of(key: bytes, shards: int) -> int:
 def secondary_hash(key_hash: int) -> int:
     """9-bit secondary hash from the high bits (independent of the index)."""
     return (key_hash >> (64 - SECONDARY_HASH_BITS)) & (
+        (1 << SECONDARY_HASH_BITS) - 1
+    )
+
+
+# -- vectorized batch counterparts -----------------------------------------
+#
+# One numpy pass over a whole key sequence instead of a per-key Python
+# loop.  Each ``*_many`` is the exact batch equivalent of its scalar
+# function above (uint64 wraparound arithmetic matches the & _MASK64
+# masking); tests/test_hashing_vectorized.py pins the key-for-key
+# equivalence property across seeds.
+
+def fnv1a64_many(keys: Sequence[bytes]) -> np.ndarray:
+    """64-bit FNV-1a over a batch of byte-string keys.
+
+    Returns a uint64 array with ``fnv1a64(key)`` for every key.  Keys of
+    equal length (the common case: fixed-width KeySpace keys) hash in one
+    vectorized byte-column sweep; ragged batches are grouped by length.
+    """
+    keys = list(keys) if not isinstance(keys, list) else keys
+    n = len(keys)
+    out = np.empty(n, dtype=np.uint64)
+    if n == 0:
+        return out
+    lengths = {len(k) for k in keys}
+    if len(lengths) == 1:
+        out[:] = _fnv1a64_fixed(keys, lengths.pop())
+        return out
+    by_len: dict = {}
+    for i, key in enumerate(keys):
+        by_len.setdefault(len(key), []).append(i)
+    for length, indices in by_len.items():
+        idx = np.asarray(indices, dtype=np.intp)
+        out[idx] = _fnv1a64_fixed([keys[i] for i in indices], length)
+    return out
+
+
+def _fnv1a64_fixed(keys: Sequence[bytes], length: int) -> np.ndarray:
+    """FNV-1a for a batch of equal-length keys, one column at a time."""
+    h = np.full(len(keys), _FNV_OFFSET, dtype=np.uint64)
+    if length == 0:
+        return h
+    mat = np.frombuffer(b"".join(keys), dtype=np.uint8).reshape(
+        len(keys), length
+    )
+    prime = np.uint64(_FNV_PRIME)
+    with np.errstate(over="ignore"):
+        for col in range(length):
+            h ^= mat[:, col]
+            h *= prime
+    return h
+
+
+def bucket_index_many(key_hashes: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Primary buckets for a batch of key hashes."""
+    return key_hashes % np.uint64(num_buckets)
+
+
+def shard_of_many(keys: Iterable[bytes], shards: int) -> np.ndarray:
+    """Shard assignment for a batch of keys; matches ``shard_of`` key-for-key."""
+    h = fnv1a64_many(list(keys)) >> np.uint64(16)
+    with np.errstate(over="ignore"):
+        h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return (h ^ (h >> np.uint64(31))) % np.uint64(shards)
+
+
+def secondary_hash_many(key_hashes: np.ndarray) -> np.ndarray:
+    """Batch counterpart of :func:`secondary_hash`."""
+    return (key_hashes >> np.uint64(64 - SECONDARY_HASH_BITS)) & np.uint64(
         (1 << SECONDARY_HASH_BITS) - 1
     )

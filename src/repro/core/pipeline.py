@@ -45,13 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.processor import KVProcessor
 
 
-@dataclass
+@dataclass(slots=True)
 class OpContext:
     """Everything one in-flight operation carries through the pipeline.
 
-    One context is created per submitted client operation (and one,
-    without a response event, per internal station write-back).  Stages
-    mutate it; the processor routes it.
+    One context carries one submitted client operation (and one, without
+    a response event, each internal station write-back).  Stages mutate
+    it; the processor routes it.  Contexts are pooled: the processor
+    recycles them through :meth:`reset` once their op has left the
+    pipeline, so the steady-state data path allocates no per-op context
+    or timestamp dict.
     """
 
     op: KVOperation
@@ -72,6 +75,26 @@ class OpContext:
     #: Functional result + value-after, filled by the memory stage.
     result: Optional[KVResult] = None
     value_after: Optional[bytes] = None
+
+    def reset(
+        self,
+        op: KVOperation,
+        response: Optional[object] = None,
+        deadline_ns: Optional[float] = None,
+        submitted_ns: float = 0.0,
+    ) -> "OpContext":
+        """Reinitialize a pooled context for a new operation."""
+        self.op = op
+        self.response = response
+        self.deadline_ns = deadline_ns
+        self.submitted_ns = submitted_ns
+        self.timestamps.clear()
+        self.slot_held = False
+        self.station_admitted = False
+        self.error = None
+        self.result = None
+        self.value_after = None
+        return self
 
     @property
     def seq(self) -> int:

@@ -198,6 +198,9 @@ class KVProcessor:
         # -- bookkeeping -----------------------------------------------------
         #: Live OpContext per in-flight client op, keyed by id(op).
         self._contexts: Dict[int, OpContext] = {}
+        #: Recycled contexts (see :class:`~repro.core.pipeline.OpContext`);
+        #: bounded by the peak number of simultaneously live ops.
+        self._ctx_pool: List[OpContext] = []
         self.counters = Counter()
         self.latencies = Histogram()
         #: Time each main-pipeline op spent in memory accesses (ns).
@@ -224,8 +227,8 @@ class KVProcessor:
         :class:`~repro.core.admission.OverloadPolicy` the event may also
         fail with :class:`~repro.errors.ServerBusy` when the op is shed.
         """
-        ctx = OpContext(
-            op=op,
+        ctx = self._acquire_context(
+            op,
             response=self.sim.event(),
             deadline_ns=deadline_ns,
             submitted_ns=self.sim.now,
@@ -255,9 +258,42 @@ class KVProcessor:
         """
         ctx = self._contexts.get(id(op))
         if ctx is None:
-            ctx = OpContext(op=op, submitted_ns=self.sim.now)
+            ctx = self._acquire_context(op, submitted_ns=self.sim.now)
             ctx.station_admitted = True
         return ctx
+
+    def _acquire_context(
+        self,
+        op: KVOperation,
+        response: Optional[Event] = None,
+        deadline_ns: Optional[float] = None,
+        submitted_ns: float = 0.0,
+    ) -> OpContext:
+        pool = self._ctx_pool
+        if pool:
+            return pool.pop().reset(op, response, deadline_ns, submitted_ns)
+        return OpContext(
+            op=op,
+            response=response,
+            deadline_ns=deadline_ns,
+            submitted_ns=submitted_ns,
+        )
+
+    def _release_context(self, ctx: OpContext) -> None:
+        """Recycle a context whose op has left the pipeline.
+
+        Callers guarantee nothing holds the context afterwards: every
+        completion/unwind path reads it synchronously and the latency
+        stamp captures ``submitted_ns`` by value (never through the
+        context).  References to the op/response are dropped here so the
+        pool does not pin finished operations in memory.
+        """
+        ctx.op = None  # type: ignore[assignment]
+        ctx.response = None
+        ctx.error = None
+        ctx.result = None
+        ctx.value_after = None
+        self._ctx_pool.append(ctx)
 
     def fail_before_admission(
         self, ctx: OpContext, exc: KVDirectError
@@ -373,17 +409,20 @@ class KVProcessor:
         the context's deadline is checked and expiry is unwound according
         to how far the op got (see :meth:`_expire`).
         """
-        ctx.submitted_ns = self.sim.now
+        sim = self.sim
+        ctx.submitted_ns = sim.now
         self.emit(ctx, "ingress", f"op={ctx.op.op.name}")
         for stage in self.front_stages:
-            ctx.mark(stage.name, self.sim.now)
+            ctx.mark(stage.name, sim.now)
             alive = yield from stage.run(ctx)
             if not alive:
+                # The stage already routed the failure (shed); nothing
+                # else holds the context.
+                self._release_context(ctx)
                 return
-            if stage.deadline_boundary is not None and ctx.expired(
-                self.sim.now
-            ):
+            if stage.deadline_boundary is not None and ctx.expired(sim.now):
                 self._expire(ctx, stage.deadline_boundary)
+                self._release_context(ctx)
                 return
         self._stamp_on_response(ctx)
 
@@ -401,12 +440,16 @@ class KVProcessor:
             # through the station so dependents are forwarded the key's
             # true current value.  No store state was modified.
             self._expire(ctx, stage.deadline_boundary)
+            self._release_context(ctx)
             return
         ctx.mark(stage.name, self.sim.now)
         alive = yield from stage.run(ctx)
         if alive:
             ctx.mark(self.complete_stage.name, self.sim.now)
             self.complete_stage.resolve(ctx)
+        # Whether completed or failed inside the memory stage, the op has
+        # left the pipeline and nothing holds its context.
+        self._release_context(ctx)
 
     def _expire(self, ctx: OpContext, boundary: str) -> None:
         """Uniform deadline-expiry handling at one stage boundary.
@@ -446,9 +489,12 @@ class KVProcessor:
         event = ctx.response
         if event is None:  # pragma: no cover - defensive
             return
+        # Capture by value: the callback fires at response delivery, by
+        # which time the (pooled) context may already carry another op.
+        submitted = ctx.submitted_ns
 
         def record(ev: Event) -> None:
-            self.latencies.record(self.sim.now - ctx.submitted_ns)
+            self.latencies.record(self.sim.now - submitted)
             self.completed += 1
 
         event.add_callback(record)
@@ -459,6 +505,7 @@ class KVProcessor:
         ctx = self.context_for(op)
         self.emit(ctx, "station.forwarded")
         self.respond(ctx, result)
+        self._release_context(ctx)
 
     def _release_slot(self) -> None:
         """Return one station slot, via the ingress queue when present so

@@ -13,6 +13,15 @@ so the closed loop adds zero simulated latency between a completion and
 the next submission - the processor, not the harness, is the bottleneck
 being measured.
 
+Alongside the simulated measurements, each run also reports how long it
+took in *wall-clock* terms (``wall_clock_s``, ``sim_ops_per_wall_s``) so
+interpreter-speed regressions in the simulator itself are observable and
+can be gated (BENCH schema v2).  The cyclic garbage collector is paused
+for the duration of the event loop: the sim allocates hundreds of
+thousands of short-lived events and generator frames per run, and the
+periodic gen0 scans cost ~15% wall time while collecting almost nothing
+(everything is freed by refcounting at run end).
+
 This module intentionally knows nothing about :class:`KVProcessor`
 internals: any object with ``sim``, ``submit(op) -> Event`` and a
 ``latencies`` histogram can be driven (duck typing also keeps the import
@@ -21,10 +30,13 @@ graph acyclic - ``core.processor`` re-exports from here).
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Dict, List, Sequence
 
+from repro.core.hashing import shard_of_many
 from repro.core.operations import KVOperation
-from repro.sim.stats import mops
+from repro.sim.stats import Histogram, mops
 
 
 def _pump_lane(processor, pending: List[KVOperation], concurrency: int,
@@ -51,6 +63,43 @@ def _pump_lane(processor, pending: List[KVOperation], concurrency: int,
     fill()
 
 
+def _run_paused_gc(sim, done) -> None:
+    """``sim.run(done)`` with the cyclic collector paused."""
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        sim.run(done)
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _latency_fields(latencies) -> Dict[str, float]:
+    """p50/p95/p99/mean from a histogram, or None fields when empty.
+
+    A run where every op was shed or deadline-expired records no
+    latencies; report None instead of crashing on the empty histogram
+    (zero goodput is a valid measurement).
+    """
+    empty = latencies.count == 0
+    return {
+        "latency_p50_ns": None if empty else latencies.percentile(50),
+        "latency_p95_ns": None if empty else latencies.percentile(95),
+        "latency_p99_ns": None if empty else latencies.percentile(99),
+        "latency_mean_ns": None if empty else latencies.mean(),
+    }
+
+
+def _wall_fields(operations: int, wall_clock_s: float) -> Dict[str, float]:
+    return {
+        "wall_clock_s": wall_clock_s,
+        "sim_ops_per_wall_s": (
+            operations / wall_clock_s if wall_clock_s > 0 else 0.0
+        ),
+    }
+
+
 def run_closed_loop(
     processor,
     ops: Sequence[KVOperation],
@@ -72,25 +121,20 @@ def run_closed_loop(
             done.succeed()
 
     start = sim.now
+    wall_start = time.perf_counter()
     _pump_lane(processor, pending, concurrency, on_response)
     if state["remaining"] == 0 and not done.triggered:
         done.succeed()
-    sim.run(done)
+    _run_paused_gc(sim, done)
+    wall_clock_s = time.perf_counter() - wall_start
     elapsed = sim.now - start
     stats: Dict[str, float] = {
         "operations": float(len(ops)),
         "elapsed_ns": elapsed,
         "throughput_mops": mops(len(ops), elapsed),
     }
-    # A run where every op was shed or deadline-expired records no
-    # latencies; report None fields instead of crashing on the empty
-    # histogram (zero goodput is a valid measurement).
-    latencies = processor.latencies
-    empty = latencies.count == 0
-    stats["latency_p50_ns"] = None if empty else latencies.percentile(50)
-    stats["latency_p95_ns"] = None if empty else latencies.percentile(95)
-    stats["latency_p99_ns"] = None if empty else latencies.percentile(99)
-    stats["latency_mean_ns"] = None if empty else latencies.mean()
+    stats.update(_latency_fields(processor.latencies))
+    stats.update(_wall_fields(len(ops), wall_clock_s))
     return stats
 
 
@@ -104,12 +148,15 @@ def run_closed_loop_sharded(
     ``server`` needs ``sim``, ``nic_count``, ``shard_of(key) -> int`` and
     a ``processors`` list; each shard gets its own closed-loop pump so a
     slow shard never stalls the others' submission windows.  Returns
-    aggregate statistics (the Table 3 scaling measurement).
+    aggregate statistics (the Table 3 scaling measurement), including
+    latency percentiles over the merged per-shard histograms.
     """
     sim = server.sim
     shards: List[List[KVOperation]] = [[] for __ in range(server.nic_count)]
-    for op in ops:
-        shards[server.shard_of(op.key)].append(op)
+    for op, shard in zip(
+        ops, shard_of_many([op.key for op in ops], server.nic_count)
+    ):
+        shards[shard].append(op)
     done = sim.event()
     state = {"remaining": len(ops)}
 
@@ -119,18 +166,26 @@ def run_closed_loop_sharded(
             done.succeed()
 
     start = sim.now
+    wall_start = time.perf_counter()
     for processor, queue in zip(server.processors, shards):
         if queue:
             _pump_lane(processor, list(reversed(queue)),
                        concurrency_per_nic, on_response)
     if state["remaining"] == 0 and not done.triggered:
         done.succeed()
-    sim.run(done)
+    _run_paused_gc(sim, done)
+    wall_clock_s = time.perf_counter() - wall_start
     elapsed = sim.now - start
-    return {
+    merged = Histogram()
+    for processor in server.processors:
+        merged.record_many(processor.latencies.samples())
+    stats = {
         "nics": float(server.nic_count),
         "operations": float(len(ops)),
         "elapsed_ns": elapsed,
         "throughput_mops": mops(len(ops), elapsed),
         "per_nic_mops": mops(len(ops), elapsed) / server.nic_count,
     }
+    stats.update(_latency_fields(merged))
+    stats.update(_wall_fields(len(ops), wall_clock_s))
+    return stats

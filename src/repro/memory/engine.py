@@ -74,27 +74,31 @@ class MemoryAccessEngine:
     def _access(self, addr: int, size: int, write: bool, seq: int) -> Generator:
         if size <= 0:
             return
-        kind = "writes" if write else "reads"
-        self.counters.add(kind)
-        first = addr // self.line_size
-        last = (addr + size - 1) // self.line_size
+        self.counters.add("writes" if write else "reads")
+        line_size = self.line_size
+        first = addr // line_size
+        last = (addr + size - 1) // line_size
+        # The tracer check is hoisted so untraced runs never build the
+        # per-line detail strings.
+        tracer = self.tracer
+        cache = self.cache
         pending = []
         for line in range(first, last + 1):
-            line_addr = line * self.line_size
+            line_addr = line * line_size
             start = max(addr, line_addr)
-            end = min(addr + size, line_addr + self.line_size)
+            end = min(addr + size, line_addr + line_size)
             span = end - start
-            full = span == self.line_size
-            if self.cache is not None and self.dispatcher.is_cacheable(
-                line_addr
-            ):
-                self._trace(seq, "mem.route", f"line={line} dram")
+            full = span == line_size
+            if cache is not None and self.dispatcher.is_cacheable(line_addr):
+                if tracer is not None:
+                    tracer.emit(seq, "mem.route", f"line={line} dram")
                 pending.append(
                     self.sim.process(self._cached_line(line, write, full, seq))
                 )
             else:
                 self.counters.add("pcie_direct")
-                self._trace(seq, "mem.route", f"line={line} pcie")
+                if tracer is not None:
+                    tracer.emit(seq, "mem.route", f"line={line} pcie")
                 if write:
                     pending.append(self.dma.write(span, seq))
                 else:
@@ -107,12 +111,14 @@ class MemoryAccessEngine:
     ) -> Generator:
         cache = self.cache
         assert cache is not None
+        tracer = self.tracer
         result = cache.access(line, write, full_line=full)
         if result.hit:
             self.counters.add("cache_hits")
             if self.profiler is not None:
                 self.profiler.record_cache(seq, "hit")
-            self._trace(seq, "dram.hit", f"line={line}")
+            if tracer is not None:
+                tracer.emit(seq, "dram.hit", f"line={line}")
             if not write and self.ecc is not None:
                 # A read serves data out of NIC DRAM: one word of the line
                 # passes through the SEC-DED path (may raise
@@ -125,7 +131,8 @@ class MemoryAccessEngine:
         self.counters.add("cache_misses")
         if self.profiler is not None:
             self.profiler.record_cache(seq, "miss")
-        self._trace(seq, "dram.miss", f"line={line}")
+        if tracer is not None:
+            tracer.emit(seq, "dram.miss", f"line={line}")
         # Dirty eviction: read old line from NIC DRAM, write back over PCIe.
         if result.writeback_line is not None:
             self.counters.add("writebacks")

@@ -9,10 +9,16 @@ tolerance, latency and DMA-per-op may only rise by it), so CI can gate
 on regressions against a committed baseline
 (``benchmarks/baselines/BENCH_*.json``).
 
-Snapshots are deterministic for a fixed seed and config: no wall-clock
-timestamps, sorted JSON keys, and the git revision falls back to
-``"unknown"`` outside a repository.  ``tools/check_bench.py`` lints any
-``BENCH_*.json`` against :func:`validate`.
+The *simulated* metrics in a snapshot are deterministic for a fixed
+seed and config: sorted JSON keys, and the git revision falls back to
+``"unknown"`` outside a repository.  Schema 2 adds two deliberately
+nondeterministic fields - ``wall_clock_s`` and ``sim_ops_per_wall_s`` -
+so interpreter-speed regressions in the simulator itself are visible
+next to the simulated numbers; they are nullable, excluded from
+determinism comparisons, and a ``None`` on either side of a diff never
+gates.  Schema-1 files (no wall fields) still load and diff.
+``tools/check_bench.py`` lints any ``BENCH_*.json`` against
+:func:`validate`.
 """
 
 from __future__ import annotations
@@ -24,10 +30,14 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 #: Current snapshot schema version.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: Schema versions :func:`validate` accepts (1 predates wall-clock fields).
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Metrics where larger is better (may drop by at most the tolerance).
-HIGHER_BETTER = ("throughput_mops", "cache_hit_rate")
+#: ``sim_ops_per_wall_s`` is None in schema-1 baselines, so it reports
+#: but never gates until a v2 baseline is committed.
+HIGHER_BETTER = ("throughput_mops", "cache_hit_rate", "sim_ops_per_wall_s")
 #: Metrics where smaller is better (may rise by at most the tolerance).
 LOWER_BETTER = (
     "latency_p50_ns",
@@ -57,6 +67,11 @@ class BenchSnapshot:
     git_rev: str
     config_digest: str
     schema: int = SCHEMA_VERSION
+    #: Wall-clock seconds the closed-loop run took (schema 2; None in
+    #: schema-1 files).  Nondeterministic by design - never byte-gated.
+    wall_clock_s: Optional[float] = None
+    #: Simulated ops completed per wall-clock second (schema 2).
+    sim_ops_per_wall_s: Optional[float] = None
     #: Free-form context (workload parameters, per-class breakdowns...).
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -119,6 +134,8 @@ def snapshot_from_run(
         cache_hit_rate=processor.engine.hit_rate(),
         git_rev=git_rev(),
         config_digest=config_digest(processor.config),
+        wall_clock_s=stats.get("wall_clock_s"),
+        sim_ops_per_wall_s=stats.get("sim_ops_per_wall_s"),
         extra=dict(extra or {}),
     )
 
@@ -128,9 +145,10 @@ def validate(data: dict) -> List[str]:
     problems: List[str] = []
     if not isinstance(data, dict):
         return ["snapshot must be a JSON object"]
-    if data.get("schema") != SCHEMA_VERSION:
+    schema = data.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
         problems.append(
-            f"schema must be {SCHEMA_VERSION}, got {data.get('schema')!r}"
+            f"schema must be one of {SUPPORTED_SCHEMAS}, got {schema!r}"
         )
     for key, types in (
         ("name", str),
@@ -144,7 +162,12 @@ def validate(data: dict) -> List[str]:
         value = data.get(key)
         if not isinstance(value, types) or isinstance(value, bool):
             problems.append(f"field {key!r} must be {types}, got {value!r}")
-    for key in ("latency_p50_ns", "latency_p95_ns", "latency_p99_ns"):
+    nullable = ["latency_p50_ns", "latency_p95_ns", "latency_p99_ns"]
+    if schema == 2:
+        # Wall-clock fields are required (but nullable) from schema 2 on;
+        # schema-1 files predate them and may omit them entirely.
+        nullable += ["wall_clock_s", "sim_ops_per_wall_s"]
+    for key in nullable:
         if key not in data:
             problems.append(f"missing field {key!r}")
         elif data[key] is not None and not isinstance(

@@ -246,7 +246,11 @@ class StageProfiler:
         forwarded = "memory" not in ctx.timestamps
         if forwarded:
             profile.forwarded += 1
-        segments = self._segments(ctx, now)
+        # Stages mark the context in pipeline order, so the timestamp
+        # dict's insertion order *is* STAGE_ORDER (restricted to the
+        # stages this op crossed).
+        marks = list(ctx.timestamps.items())
+        segments = self._segments_from_marks(marks, ctx.submitted_ns, now)
         for stage, queue_ns, service_ns in segments:
             breakdown = profile.stage(stage)
             breakdown.ops += 1
@@ -254,11 +258,6 @@ class StageProfiler:
             breakdown.service_ns += service_ns
             profile.latency_total_ns += queue_ns + service_ns
         if self.keep_records:
-            marks = tuple(
-                (stage, ctx.timestamps[stage])
-                for stage in STAGE_ORDER
-                if stage in ctx.timestamps
-            )
             self.records.append(
                 OpRecord(
                     seq=ctx.seq,
@@ -266,7 +265,7 @@ class StageProfiler:
                     submitted_ns=ctx.submitted_ns,
                     completed_ns=now,
                     segments=segments,
-                    timestamps=marks,
+                    timestamps=tuple(marks),
                     forwarded=forwarded,
                 )
             )
@@ -304,6 +303,15 @@ class StageProfiler:
                 accounted += span
             return _summing_to(accounted, latency)
 
+        # Fast path: the naive residual already folds exactly and is
+        # non-negative - the overwhelmingly common case.
+        accounted = 0.0
+        for span in spans:
+            accounted += span
+        last = latency - accounted
+        if last >= 0.0 and accounted + last == latency:
+            spans.append(last)
+            return spans
         last = solve(spans)
         if last is None:
             for index in range(len(spans) - 1, -1, -1):
@@ -341,6 +349,17 @@ class StageProfiler:
     def _segments(
         self, ctx, now: float
     ) -> Tuple[Tuple[str, float, float], ...]:
+        """Decompose one op's latency into per-stage (queue, service)."""
+        marks = [
+            (stage, ctx.timestamps[stage])
+            for stage in STAGE_ORDER
+            if stage in ctx.timestamps
+        ]
+        return self._segments_from_marks(marks, ctx.submitted_ns, now)
+
+    def _segments_from_marks(
+        self, marks: List[Tuple[str, float]], submitted_ns: float, now: float
+    ) -> Tuple[Tuple[str, float, float], ...]:
         """Decompose one op's latency into per-stage (queue, service).
 
         Within each stage ``queue + service`` equals the stage's span
@@ -348,12 +367,7 @@ class StageProfiler:
         folding ``queue + service`` over the segments in pipeline order
         reproduces ``now - submitted_ns`` **exactly**.
         """
-        marks = [
-            (stage, ctx.timestamps[stage])
-            for stage in STAGE_ORDER
-            if stage in ctx.timestamps
-        ]
-        latency = now - ctx.submitted_ns
+        latency = now - submitted_ns
         spans = self._spans(marks, latency)
         segments: List[Tuple[str, float, float]] = []
         for (stage, __), span in zip(marks, spans):

@@ -103,6 +103,10 @@ class DMAEngine:
             while True:
                 # Request TLP upstream (header only).
                 yield self.tx.transfer(read_request_bytes(nbytes))
+                # On clean runs skip the fault-check generator entirely;
+                # it would yield nothing and return False.
+                if self.injector is None:
+                    break
                 if not (yield from self._fault_check(nbytes, attempts, seq)):
                     break
                 attempts += 1
@@ -118,7 +122,8 @@ class DMAEngine:
         self.read_latency_hist.record(self.sim.now - start)
         if self.profiler is not None:
             self.profiler.record_dma(seq, "read", nbytes)
-        self._trace(seq, "pcie.read", f"{self.name} {nbytes}B")
+        if self.tracer is not None:
+            self.tracer.emit(seq, "pcie.read", f"{self.name} {nbytes}B")
 
     def _fault_check(
         self, nbytes: int, attempts: int, seq: int = -1
@@ -159,6 +164,8 @@ class DMAEngine:
             attempts = 0
             while True:
                 yield self.tx.transfer(write_request_bytes(nbytes))
+                if self.injector is None:
+                    break
                 if not (yield from self._fault_check(nbytes, attempts, seq)):
                     break
                 attempts += 1
@@ -172,7 +179,8 @@ class DMAEngine:
         self.counters.add("dma_write_bytes", nbytes)
         if self.profiler is not None:
             self.profiler.record_dma(seq, "write", nbytes)
-        self._trace(seq, "pcie.write", f"{self.name} {nbytes}B")
+        if self.tracer is not None:
+            self.tracer.emit(seq, "pcie.write", f"{self.name} {nbytes}B")
 
     def _return_posted_credit(self) -> Generator[Event, None, None]:
         yield self.sim.timeout(self.config.fabric_rtt_ns)

@@ -6,17 +6,30 @@ events and is resumed when they trigger.  The implementation is deliberately
 small - it exists so the hardware models in :mod:`repro.pcie`,
 :mod:`repro.dram` and :mod:`repro.network` can express concurrency (in-flight
 DMAs, pipelined operations) without any external dependency.
+
+Scheduling order is the observable contract: events fire in ``(time, FIFO)``
+order — at equal simulated times, strictly in the order they were scheduled.
+The implementation splits the pending set into a heap of *future* events and
+a plain FIFO deque of events scheduled at the *current* instant (the vast
+majority under closed-loop load, where most triggers are delay-0).  The split
+preserves the exact global order: every heap entry at time ``T`` was pushed
+before the clock reached ``T``, so it precedes — in sequence order — every
+deque entry appended while processing at ``T``.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
 #: Sentinel distinguishing "not yet triggered" from a ``None`` value.
 _PENDING = object()
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Event:
@@ -67,15 +80,24 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully after ``delay`` ns."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError("event already triggered")
+        if self._scheduled:
+            raise SimulationError("event scheduled twice")
         self._value = value
-        self.sim._schedule(self, delay)
+        self._scheduled = True
+        sim = self.sim
+        when = sim._now + delay
+        if when == sim._now:
+            sim._dq.append(self)
+        else:
+            sim._sequence += 1
+            _heappush(sim._queue, (when, sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Trigger the event with an exception after ``delay`` ns."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -133,7 +155,8 @@ class Process(Event):
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
         bootstrap._value = None
-        sim._schedule(bootstrap, 0.0)
+        bootstrap._scheduled = True
+        sim._dq.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -157,39 +180,47 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if event._exception is not None:
-                next_event = self._generator.throw(event._exception)
-            else:
+            if event._exception is None:
                 next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._exception)
         except StopIteration as stop:
-            self.sim._active_process = None
-            if not self.triggered:
+            sim._active_process = None
+            if self._value is _PENDING and self._exception is None:
                 self._value = stop.value
-                self.sim._schedule(self, 0.0)
+                self._scheduled = True
+                sim._dq.append(self)
             return
         except Interrupt:
             # Process chose not to handle the interrupt: treat as completion.
-            self.sim._active_process = None
-            if not self.triggered:
+            sim._active_process = None
+            if self._value is _PENDING and self._exception is None:
                 self._value = None
-                self.sim._schedule(self, 0.0)
+                self._scheduled = True
+                sim._dq.append(self)
             return
         except BaseException as exc:
             # The process body raised: fail the process event so waiters
             # (parent processes, sim.run) observe the exception.
-            self.sim._active_process = None
-            if not self.triggered:
+            sim._active_process = None
+            if self._value is _PENDING and self._exception is None:
                 self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(next_event, Event):
             raise SimulationError(
                 f"process yielded {next_event!r}, expected an Event"
             )
         self._waiting_on = next_event
-        next_event.add_callback(self._resume)
+        callbacks = next_event.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately (same as add_callback).
+            self._resume(next_event)
+        else:
+            callbacks.append(self._resume)
 
 
 class _Condition(Event):
@@ -220,7 +251,7 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -236,7 +267,7 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -245,11 +276,17 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of pending events."""
+    """The event loop: a clock plus pending-event queues.
+
+    Future events live in a ``(time, sequence, event)`` heap; events
+    scheduled at the current instant live in a FIFO deque.  See the module
+    docstring for why this preserves exact ``(time, FIFO)`` order.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List = []
+        self._dq = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
 
@@ -268,8 +305,12 @@ class Simulator:
         if event._scheduled:
             raise SimulationError("event scheduled twice")
         event._scheduled = True
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        when = self._now + delay
+        if when == self._now:
+            self._dq.append(event)
+        else:
+            self._sequence += 1
+            _heappush(self._queue, (when, self._sequence, event))
 
     def schedule_at(self, event: Event, when: float, value: Any = None) -> Event:
         """Trigger ``event`` successfully at absolute time ``when``."""
@@ -277,10 +318,17 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} before now ({self._now})"
             )
-        if event.triggered:
+        if event._value is not _PENDING or event._exception is not None:
             raise SimulationError("event already triggered")
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
         event._value = value
-        self._schedule(event, when - self._now)
+        event._scheduled = True
+        if when == self._now:
+            self._dq.append(event)
+        else:
+            self._sequence += 1
+            _heappush(self._queue, (when, self._sequence, event))
         return event
 
     # -- factories ---------------------------------------------------------
@@ -302,10 +350,23 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
 
+    def _next_event(self) -> Event:
+        """Pop the next event in (time, FIFO) order, advancing the clock."""
+        queue = self._queue
+        if queue and queue[0][0] <= self._now:
+            when, __, event = _heappop(queue)
+            self._now = when
+            return event
+        dq = self._dq
+        if dq:
+            return dq.popleft()
+        when, __, event = _heappop(queue)
+        self._now = when
+        return event
+
     def step(self) -> None:
         """Process the next scheduled event."""
-        when, __, event = heapq.heappop(self._queue)
-        self._now = when
+        event = self._next_event()
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
@@ -319,28 +380,72 @@ class Simulator:
         (run until that simulated time), or an :class:`Event` (run until it
         is processed, returning its value).
         """
+        queue = self._queue
+        dq = self._dq
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._queue:
+            while target.callbacks is not None:
+                if queue and queue[0][0] <= self._now:
+                    when, __, event = _heappop(queue)
+                    self._now = when
+                elif dq:
+                    event = dq.popleft()
+                elif queue:
+                    when, __, event = _heappop(queue)
+                    self._now = when
+                else:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"
                     )
-                self.step()
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
             return target.value
         if until is None:
-            while self._queue:
-                self.step()
+            while queue or dq:
+                if queue and queue[0][0] <= self._now:
+                    when, __, event = _heappop(queue)
+                    self._now = when
+                elif dq:
+                    event = dq.popleft()
+                else:
+                    when, __, event = _heappop(queue)
+                    self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
             return None
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError("run(until) target is in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while True:
+            if queue and queue[0][0] <= self._now:
+                when, __, event = _heappop(queue)
+                self._now = when
+            elif dq:
+                event = dq.popleft()
+            elif queue and queue[0][0] <= deadline:
+                when, __, event = _heappop(queue)
+                self._now = when
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
         self._now = deadline
         return None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._dq:
+            if self._queue and self._queue[0][0] < self._now:
+                return self._queue[0][0]
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")

@@ -8,7 +8,9 @@ percentiles, memory accesses per operation).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 
 class Counter:
@@ -18,17 +20,25 @@ class Counter:
         self._counts: Dict[str, int] = {}
 
     def add(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        counts = self._counts
+        try:
+            counts[name] += amount
+        except KeyError:
+            counts[name] = amount
 
     def record_max(self, name: str, value: int) -> None:
         """High-watermark gauge: keep the largest value ever recorded.
 
         For quantities that are levels rather than event counts (queue
         depths, chain lengths, live allocations) where the interesting
-        number is the peak.
+        number is the peak.  The first call always materializes the key,
+        so an idle run reports ``0`` (or a negative level) rather than
+        omitting the gauge entirely.
         """
-        if value > self._counts.get(name, 0):
-            self._counts[name] = value
+        counts = self._counts
+        prev = counts.get(name)
+        if prev is None or value > prev:
+            counts[name] = value
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
@@ -107,88 +117,136 @@ class Histogram:
 
     Stores raw samples (the simulation scales are small enough); computes
     percentiles by interpolation, matching ``numpy.percentile``'s default.
+
+    Recording appends to a small staging list (cheapest per-sample path in
+    CPython); reads materialize the samples into a float64 array, which is
+    what sorting, percentiles and bulk merges (:meth:`record_many`) operate
+    on.  Float semantics are bit-compatible with the historical list
+    implementation: ``mean`` is the left-fold sum in the samples' current
+    order (insertion order, or sorted order once a percentile forced a
+    sort) and percentile interpolation follows the same IEEE expression.
     """
 
+    __slots__ = ("_pending", "_arr", "_sorted")
+
     def __init__(self) -> None:
-        self._samples: List[float] = []
+        self._pending: List[float] = []
+        self._arr: Optional[np.ndarray] = None
         self._sorted = True
 
     def record(self, value: float) -> None:
-        self._samples.append(value)
+        self._pending.append(value)
         self._sorted = False
 
     def extend(self, values: Iterable[float]) -> None:
-        self._samples.extend(values)
+        self._pending.extend(values)
         self._sorted = False
 
+    def record_many(self, values) -> None:
+        """Bulk-record an array of samples in one call.
+
+        Accepts any array-like; the vectorized counterpart of
+        :meth:`record` for columnar pipelines and shard merges.
+        """
+        chunk = np.asarray(values, dtype=np.float64)
+        if chunk.size == 0:
+            return
+        if self._arr is None:
+            self._arr = chunk.copy()
+        else:
+            self._materialize()
+            self._arr = np.concatenate((self._arr, chunk))
+        self._sorted = False
+
+    def _materialize(self) -> np.ndarray:
+        """Fold staged samples into the backing array (insertion order)."""
+        if self._pending:
+            chunk = np.asarray(self._pending, dtype=np.float64)
+            if self._arr is None:
+                self._arr = chunk
+            else:
+                self._arr = np.concatenate((self._arr, chunk))
+            self._pending = []
+        elif self._arr is None:
+            self._arr = np.empty(0, dtype=np.float64)
+        return self._arr
+
+    def samples(self) -> List[float]:
+        """The raw samples in their current order (copy)."""
+        return self._materialize().tolist()
+
     def __len__(self) -> int:
-        return len(self._samples)
+        arr = self._arr
+        return len(self._pending) + (0 if arr is None else arr.shape[0])
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return len(self)
 
-    def _ensure_sorted(self) -> None:
+    def _ensure_sorted(self) -> np.ndarray:
+        arr = self._materialize()
         if not self._sorted:
-            self._samples.sort()
+            arr.sort()
             self._sorted = True
+        return arr
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile; ``pct`` in [0, 100]."""
-        if not self._samples:
+        if not len(self):
             raise ValueError("percentile of empty histogram")
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
-        self._ensure_sorted()
-        if len(self._samples) == 1:
-            return self._samples[0]
-        rank = (pct / 100.0) * (len(self._samples) - 1)
+        arr = self._ensure_sorted()
+        n = arr.shape[0]
+        if n == 1:
+            return float(arr[0])
+        rank = (pct / 100.0) * (n - 1)
         low = int(math.floor(rank))
         high = int(math.ceil(rank))
-        if low == high or self._samples[low] == self._samples[high]:
-            return self._samples[low]
+        if low == high or arr[low] == arr[high]:
+            return float(arr[low])
         frac = rank - low
-        return self._samples[low] * (1 - frac) + self._samples[high] * frac
+        return float(arr[low] * (1 - frac) + arr[high] * frac)
 
     def median(self) -> float:
         return self.percentile(50.0)
 
     def mean(self) -> float:
-        if not self._samples:
+        if not len(self):
             raise ValueError("mean of empty histogram")
-        return sum(self._samples) / len(self._samples)
+        arr = self._materialize()
+        # Left-fold sum in current sample order, exactly as sum(list)/n did.
+        return sum(arr.tolist()) / arr.shape[0]
 
     def min(self) -> float:
-        if not self._samples:
+        if not len(self):
             raise ValueError("min of empty histogram")
-        self._ensure_sorted()
-        return self._samples[0]
+        return float(self._ensure_sorted()[0])
 
     def max(self) -> float:
-        if not self._samples:
+        if not len(self):
             raise ValueError("max of empty histogram")
-        self._ensure_sorted()
-        return self._samples[-1]
+        return float(self._ensure_sorted()[-1])
 
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """Return ``points`` (value, cumulative fraction) pairs."""
-        if not self._samples:
+        if not len(self):
             return []
-        self._ensure_sorted()
-        n = len(self._samples)
+        arr = self._ensure_sorted()
+        n = arr.shape[0]
         out = []
         for i in range(points):
             frac = (i + 1) / points
             idx = min(n - 1, int(round(frac * n)) - 1)
-            out.append((self._samples[max(0, idx)], frac))
+            out.append((float(arr[max(0, idx)]), frac))
         return out
 
     def summary(self) -> Dict[str, float]:
         """Mean and the percentiles the paper quotes (5/50/95/99)."""
-        if not self._samples:
+        if not len(self):
             return {}
         return {
-            "count": float(len(self._samples)),
+            "count": float(len(self)),
             "mean": self.mean(),
             "min": self.min(),
             "p5": self.percentile(5),

@@ -1,0 +1,109 @@
+"""Vectorized draws from a ``random.Random`` without changing its stream.
+
+CPython's ``random.Random`` and ``numpy.random.RandomState`` are both
+MT19937 generators, and their core draws are word-compatible:
+
+- ``RandomState.randint(0, 2**32, dtype=np.uint64)`` produces the same
+  32-bit words as successive ``Random.getrandbits(32)`` calls,
+- ``RandomState.random_sample()`` equals ``Random.random()`` (both use
+  the 53-bit two-word recipe), and
+- ``Random.randrange(n)`` for ``n < 2**32`` is rejection sampling over
+  single words: ``word >> (32 - n.bit_length())``, retried while the
+  candidate is ``>= n``.
+
+That lets the workload generators draw whole columns with numpy while
+remaining *bit-identical* to the historical per-op scalar loops: we copy
+the Mersenne state into a scratch ``RandomState``, draw vectorized, then
+write the advanced state back into the ``random.Random`` so any later
+scalar draw continues the exact same stream.
+
+(Direct ``RandomState(seed)`` seeding is NOT equivalent to
+``random.Random(seed)`` for seeds below 2**64-ish because the two
+libraries build the init_by_array key differently - which is why the
+transfer goes through ``getstate``/``set_state`` rather than reseeding.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+import numpy as np
+
+_WORD_MAX = 2**32
+
+
+def state_to_numpy(rng: random.Random) -> np.random.RandomState:
+    """A ``RandomState`` positioned at ``rng``'s exact Mersenne state."""
+    version, internal, _gauss = rng.getstate()
+    if version != 3:  # pragma: no cover - CPython has used v3 since 2.6
+        raise ValueError(f"unsupported random.Random state version {version}")
+    key = np.asarray(internal[:-1], dtype=np.uint32)
+    pos = internal[-1]
+    rs = np.random.RandomState()
+    rs.set_state(("MT19937", key, pos, 0, 0.0))
+    return rs
+
+
+def state_from_numpy(rng: random.Random, rs: np.random.RandomState) -> None:
+    """Write ``rs``'s Mersenne state back into ``rng``."""
+    _, key, pos = rs.get_state()[:3]
+    rng.setstate((3, tuple(int(x) for x in key) + (int(pos),), None))
+
+
+def words(rs: np.random.RandomState, count: int) -> np.ndarray:
+    """``count`` raw 32-bit Mersenne words as uint64 (one word per draw)."""
+    return rs.randint(0, _WORD_MAX, size=count, dtype=np.uint64)
+
+
+def random_many(rng: random.Random, count: int) -> np.ndarray:
+    """Vectorized ``[rng.random() for _ in range(count)]``, bit-identical.
+
+    Advances ``rng`` exactly as the scalar loop would (two words per
+    draw).
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    rs = state_to_numpy(rng)
+    out = rs.random_sample(count)
+    state_from_numpy(rng, rs)
+    return out
+
+
+def randrange_many(
+    rng: random.Random, n: int, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``[rng.randrange(n) for _ in range(count)]`` for n < 2**32.
+
+    Returns ``(values, accepted)`` where ``values`` are the ``count``
+    accepted draws and ``accepted`` is the boolean acceptance mask over
+    the raw word stream (useful when the caller interleaves other draws
+    and needs the consumption pattern).  Advances ``rng`` past exactly
+    the words the scalar loop would have consumed.
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+    if not 0 < n < _WORD_MAX:
+        raise ValueError(f"randrange_many requires 0 < n < 2**32, got {n}")
+    shift = np.uint64(32 - n.bit_length())
+    rs = state_to_numpy(rng)
+    raw = np.empty(0, dtype=np.uint64)
+    accepted_total = 0
+    while accepted_total < count:
+        need = count - accepted_total
+        # Overdraw by the expected rejection rate plus slack.
+        chunk = words(rs, max(16, int(need * (2 ** n.bit_length()) / n) + 8))
+        raw = np.concatenate((raw, chunk)) if raw.size else chunk
+        candidates = raw >> shift
+        accepted = candidates < n
+        accepted_total = int(np.count_nonzero(accepted))
+    candidates = raw >> shift
+    accepted = candidates < n
+    # Words consumed: through the count-th acceptance.
+    consumed = int(np.nonzero(accepted)[0][count - 1]) + 1
+    # Reposition: redraw exactly `consumed` words from the original state.
+    rs = state_to_numpy(rng)
+    words(rs, consumed)
+    state_from_numpy(rng, rs)
+    accepted = accepted[:consumed]
+    return candidates[:consumed][accepted][:count], accepted

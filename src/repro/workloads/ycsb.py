@@ -15,6 +15,7 @@ from typing import Iterator, List
 from repro.constants import ZIPF_SKEW
 from repro.core.operations import KVOperation
 from repro.workloads.keyspace import KeySpace
+from repro.workloads.mtstream import random_many
 from repro.workloads.zipf import UniformSampler, ZipfSampler
 
 
@@ -62,15 +63,32 @@ class YCSBGenerator:
             yield KVOperation.put(key, value)
 
     def operations(self, count: int) -> List[KVOperation]:
-        """The measurement phase: ``count`` GET/PUT ops."""
+        """The measurement phase: ``count`` GET/PUT ops.
+
+        Generated columnar: key indices, the GET/PUT coin flips, keys and
+        PUT values are each drawn for the whole stream in one vectorized
+        batch, then zipped into operations.  The result is bit-identical
+        to the historical per-op loop (same sampler and coin RNG streams,
+        consumed in the same order per op) because the two RNGs are
+        independent streams.
+        """
+        if count <= 0:
+            return []
+        indices = self.sampler.sample_many(count)
+        is_put = (random_many(self._rng, count) < self.spec.put_ratio).tolist()
+        keys = self.keyspace.keys_many(indices)
+        put_values = iter(self.keyspace.values_many(
+            [index for index, put in zip(indices, is_put) if put]
+        ))
+        make_put = KVOperation.put
+        make_get = KVOperation.get
         ops: List[KVOperation] = []
-        for seq in range(count):
-            index = self.sampler.sample()
-            if self._rng.random() < self.spec.put_ratio:
-                key, value = self.keyspace.pair(index)
-                ops.append(KVOperation.put(key, value, seq=seq))
+        append = ops.append
+        for seq, (key, put) in enumerate(zip(keys, is_put)):
+            if put:
+                append(make_put(key, next(put_values), seq=seq))
             else:
-                ops.append(KVOperation.get(self.keyspace.key(index), seq=seq))
+                append(make_get(key, seq=seq))
         return ops
 
 

@@ -42,7 +42,7 @@ class TestSnapshot:
         assert text.endswith("\n")
         data = json.loads(text)
         assert list(data) == sorted(data)
-        assert data["schema"] == 1
+        assert data["schema"] == 2
 
     def test_save_load_roundtrip(self, tmp_path):
         path = tmp_path / "BENCH_small-ycsb.json"
@@ -54,8 +54,21 @@ class TestSnapshot:
     def test_load_rejects_invalid(self, tmp_path):
         path = tmp_path / "BENCH_bad.json"
         path.write_text(json.dumps({"schema": 99}))
-        with pytest.raises(ValueError, match="schema must be 1"):
+        with pytest.raises(ValueError, match="schema must be one of"):
             load_snapshot(str(path))
+
+    def test_schema1_file_still_loads(self, tmp_path):
+        """v1 snapshots (no wall-clock fields) load and default to None."""
+        path = tmp_path / "BENCH_v1.json"
+        data = json.loads(_snapshot().to_json())
+        data["schema"] = 1
+        del data["wall_clock_s"]
+        del data["sim_ops_per_wall_s"]
+        path.write_text(json.dumps(data))
+        loaded = load_snapshot(str(path))
+        assert loaded.schema == 1
+        assert loaded.wall_clock_s is None
+        assert loaded.sim_ops_per_wall_s is None
 
     def test_git_rev_is_rev_or_unknown(self):
         rev = git_rev()
@@ -84,6 +97,25 @@ class TestValidate:
 
     def test_null_latency_allowed(self):
         data = json.loads(_snapshot(latency_p99_ns=None).to_json())
+        assert validate(data) == []
+
+    def test_schema2_requires_wall_fields(self):
+        data = json.loads(_snapshot().to_json())
+        del data["wall_clock_s"]
+        problems = validate(data)
+        assert any("wall_clock_s" in p for p in problems)
+
+    def test_schema1_wall_fields_optional(self):
+        data = json.loads(_snapshot().to_json())
+        data["schema"] = 1
+        del data["wall_clock_s"]
+        del data["sim_ops_per_wall_s"]
+        assert validate(data) == []
+
+    def test_null_wall_fields_allowed(self):
+        data = json.loads(
+            _snapshot(wall_clock_s=None, sim_ops_per_wall_s=None).to_json()
+        )
         assert validate(data) == []
 
     def test_extra_must_be_object(self):
@@ -149,6 +181,26 @@ class TestDiff:
         delta = [d for d in report.deltas if d.metric == "latency_p50_ns"]
         assert delta[0].change is None
 
+    def test_v1_baseline_never_gates_on_wall_speed(self):
+        """A schema-1 baseline has no wall fields -> reported, not gated."""
+        report = diff(
+            _snapshot(schema=1),
+            _snapshot(wall_clock_s=3.0, sim_ops_per_wall_s=650.0),
+        )
+        assert report.passed
+        delta = [
+            d for d in report.deltas if d.metric == "sim_ops_per_wall_s"
+        ]
+        assert delta and delta[0].change is None
+
+    def test_wall_speed_drop_regresses_between_v2_snapshots(self):
+        base = _snapshot(wall_clock_s=1.0, sim_ops_per_wall_s=1000.0)
+        slow = _snapshot(wall_clock_s=2.0, sim_ops_per_wall_s=500.0)
+        report = diff(base, slow)
+        assert [d.metric for d in report.regressions] == [
+            "sim_ops_per_wall_s"
+        ]
+
     def test_config_mismatch_noted(self):
         report = diff(_snapshot(), _snapshot(config_digest="feedbeef" * 2))
         assert any("config digests differ" in note for note in report.notes)
@@ -184,6 +236,11 @@ class TestSnapshotFromRun:
         assert snapshot.operations == 200
         assert snapshot.dma_per_op > 0.0
         assert snapshot.config_digest == config_digest(processor.config)
+        assert snapshot.schema == 2
+        assert snapshot.wall_clock_s is not None
+        assert snapshot.wall_clock_s > 0.0
+        assert snapshot.sim_ops_per_wall_s is not None
+        assert snapshot.sim_ops_per_wall_s > 0.0
 
 
 def _load_check_bench():

@@ -32,11 +32,24 @@ def _run(seed: int, workload_seed: int = 0):
     return stats
 
 
+def _simulated(stats: dict) -> dict:
+    """Strip the wall-clock fields: the only legitimately nondeterministic
+    measurements in a closed-loop run (they time the host interpreter,
+    not the simulation)."""
+    return {
+        k: v for k, v in stats.items()
+        if k not in ("wall_clock_s", "sim_ops_per_wall_s")
+    }
+
+
 class TestExactReproducibility:
     def test_identical_runs_bit_for_bit(self):
         a = _run(seed=0)
         b = _run(seed=0)
-        assert a == b  # every stat, including simulated nanoseconds
+        # every simulated stat, including simulated nanoseconds
+        assert _simulated(a) == _simulated(b)
+        assert a["wall_clock_s"] > 0
+        assert a["sim_ops_per_wall_s"] > 0
 
     def test_latency_histograms_identical(self):
         sim_stats = [_run(seed=3) for __ in range(2)]

@@ -87,6 +87,39 @@ class TestScaling:
             stats["throughput_mops"] / 2
         )
 
+    def test_sharded_latency_merges_per_shard_histograms(self):
+        """Regression: the sharded closed loop reports aggregate latency
+        percentiles over the union of all shard histograms, not None and
+        not a single shard's view."""
+        sim = Simulator()
+        server = MultiNICServer(sim, nic_count=4)
+        for i in range(256):
+            server.put_direct(b"key%06d" % i, b"v" * 5)
+        stats = server.run_closed_loop(
+            [KVOperation.get(b"key%06d" % (i % 256), seq=i)
+             for i in range(800)]
+        )
+        for field in ("latency_p50_ns", "latency_p95_ns",
+                      "latency_p99_ns", "latency_mean_ns"):
+            assert stats[field] is not None and stats[field] > 0.0
+        assert (stats["latency_p50_ns"] <= stats["latency_p95_ns"]
+                <= stats["latency_p99_ns"])
+        total = sum(
+            proc.latencies.count for proc in server.processors
+        )
+        assert total == 800
+
+    def test_sharded_latency_none_when_nothing_completes(self):
+        """Zero goodput is a valid measurement: an empty merged histogram
+        reports None latency fields instead of crashing."""
+        sim = Simulator()
+        server = MultiNICServer(sim, nic_count=2)
+        stats = server.run_closed_loop([])
+        assert stats["operations"] == 0.0
+        assert stats["latency_p50_ns"] is None
+        assert stats["latency_p99_ns"] is None
+        assert stats["latency_mean_ns"] is None
+
 
 class TestNetworkedMultiNIC:
     """Each NIC has its own 40 GbE port; clients drive them in parallel."""

@@ -52,6 +52,18 @@ class TestCounter:
         counter.record_max("peak", 0)
         assert counter["peak"] == 2
 
+    def test_record_max_first_call_materializes_any_value(self):
+        """Regression: the first call must record even 0 or a negative
+        level - an idle run reports the gauge at 0, not a missing key."""
+        counter = Counter()
+        counter.record_max("idle_peak", 0)
+        assert "idle_peak" in counter.snapshot()
+        assert counter["idle_peak"] == 0
+        counter.record_max("level", -3)
+        assert counter["level"] == -3
+        counter.record_max("level", -1)
+        assert counter["level"] == -1
+
 
 class TestRunningStats:
     def test_mean_min_max(self):

@@ -113,6 +113,26 @@ class TestZipfSampler:
         shuffled = ZipfSampler(1000, seed=1, shuffle=True)
         assert shuffled.hot_keys(3) != [0, 1, 2]
 
+    def test_seed_none_shuffle_derived_from_sampler_rng(self, monkeypatch):
+        """Regression: with ``seed=None`` the rank shuffle must be seeded
+        from the (entropy-seeded) sampler RNG, not from a second
+        independent ``RandomState(None)`` entropy pull - the draw stream
+        and the rank mapping stay coherent with each other."""
+        import numpy as np
+
+        calls = []
+        real = np.random.RandomState
+
+        def spy(seed=None):
+            calls.append(seed)
+            return real(seed)
+
+        monkeypatch.setattr(np.random, "RandomState", spy)
+        sampler = ZipfSampler(100, seed=None)
+        assert len(calls) == 1
+        assert calls[0] is not None
+        assert all(0 <= s < 100 for s in sampler.sample_many(50))
+
     def test_invalid(self):
         with pytest.raises(ValueError):
             ZipfSampler(0)
