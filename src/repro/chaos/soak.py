@@ -32,7 +32,10 @@ import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.client.robust import CircuitBreaker, RetryBudget
+from repro.client.router import ClusterRouter
 from repro.core.admission import OverloadPolicy
+from repro.core.config import KVDirectConfig
 from repro.core.hashing import shard_of
 from repro.core.operations import KVOperation, OpType
 from repro.core.processor import KVProcessor
@@ -45,9 +48,26 @@ from repro.errors import (
     ServerBusy,
 )
 from repro.faults.plan import FaultPlan
+from repro.multi.cluster import Cluster
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Simulator
+
+#: Fraction of the kill target's expected arrivals after which a
+#: ``kill_node`` soak takes it down (mid-run, deterministically).
+_KILL_FRACTION = 0.4
+
+#: The robustness counters every soak report carries (zeros outside
+#: cluster mode), so retry-behaviour regressions show up next to goodput.
+_ROBUSTNESS_KEYS = (
+    "node_down_retries",
+    "wrong_epoch_retries",
+    "retry_give_ups",
+    "breaker_fast_fails",
+    "breaker_opens",
+    "budget_spent",
+    "budget_refused",
+)
 
 _MASK64 = (1 << 64) - 1
 _Q = struct.Struct("<q")
@@ -121,10 +141,33 @@ class SoakConfig:
     burst_high: float = 4.0
     #: Invariant: completed / submitted must stay at or above this.
     goodput_floor: float = 0.5
+    #: Replicated cluster nodes to soak instead of plain shards (0 = the
+    #: classic sharded soak; >= 1 routes through a
+    #: :class:`~repro.client.router.ClusterRouter` over a
+    #: :class:`~repro.multi.cluster.Cluster`).
+    cluster_nodes: int = 0
+    #: Placement-directory slots in cluster mode.
+    cluster_slots: int = 8
+    #: Kill one primary mid-soak (cluster mode only; needs a backup to
+    #: promote, so at least two nodes).
+    kill_node: bool = False
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ConfigurationError("soak needs at least one shard")
+        if self.cluster_nodes < 0:
+            raise ConfigurationError("cluster_nodes must be non-negative")
+        if self.cluster_nodes and self.num_shards != 1:
+            raise ConfigurationError(
+                "cluster mode replaces sharding: leave num_shards at 1"
+            )
+        if self.cluster_slots <= 0:
+            raise ConfigurationError("cluster needs at least one slot")
+        if self.kill_node and self.cluster_nodes < 2:
+            raise ConfigurationError(
+                "kill_node needs a cluster of at least two nodes "
+                "(a backup must exist to promote)"
+            )
         if self.num_keys <= 0 or self.ops_per_key <= 0:
             raise ConfigurationError("soak needs keys and ops")
         if self.phase_ops <= 0:
@@ -162,6 +205,12 @@ class SoakReport:
     divergences: List[str] = field(default_factory=list)
     digest: str = ""
     goodput_floor: float = 0.0
+    #: Client retry/fast-fail counters (zeros outside cluster mode).
+    robustness: Dict[str, int] = field(
+        default_factory=lambda: {key: 0 for key in _ROBUSTNESS_KEYS}
+    )
+    #: Cluster evidence (epoch, failover/replication counters) or None.
+    cluster: Optional[dict] = None
 
     @property
     def goodput(self) -> float:
@@ -202,6 +251,8 @@ class SoakReport:
             "final_state_matches": self.final_state_matches,
             "divergences": list(self.divergences),
             "digest": self.digest,
+            "robustness": dict(self.robustness),
+            "cluster": dict(self.cluster) if self.cluster else None,
             "ok": not self.check(),
         }
 
@@ -211,24 +262,61 @@ class _Soak:
 
     def __init__(self, cfg: SoakConfig, tracer: Optional[Tracer]) -> None:
         self.cfg = cfg
-        #: One share-nothing store per shard; shard 0 uses the base seed,
-        #: so a single-shard soak is byte-identical to the unsharded one.
-        self.stores = [
-            KVDirectStore.create(
-                memory_size=cfg.memory_size,
-                seed=cfg.seed + shard,
-                max_inflight=cfg.max_inflight,
-                overload=cfg.overload,
-                fault_plan=cfg.fault_plan,
-            )
-            for shard in range(cfg.num_shards)
-        ]
-        self.store = self.stores[0]
         self.sim = Simulator()
-        self.processors = [
-            KVProcessor(self.sim, store, tracer=tracer)
-            for store in self.stores
-        ]
+        self.cluster: Optional[Cluster] = None
+        self.router: Optional[ClusterRouter] = None
+        if cfg.cluster_nodes > 0:
+            self.cluster = Cluster(
+                self.sim,
+                num_nodes=cfg.cluster_nodes,
+                num_slots=cfg.cluster_slots,
+                config=KVDirectConfig(
+                    memory_size=cfg.memory_size,
+                    seed=cfg.seed,
+                    max_inflight=cfg.max_inflight,
+                    overload=cfg.overload,
+                    fault_plan=cfg.fault_plan,
+                ),
+                tracer=tracer,
+            )
+            self.router = ClusterRouter(
+                self.sim,
+                self.cluster,
+                seed=cfg.seed,
+                retry_budget=RetryBudget(
+                    capacity=256.0, refill_per_success=0.5
+                ),
+                breaker=CircuitBreaker(
+                    clock=lambda: self.sim.now,
+                    window_ns=1_000_000.0,
+                    failure_threshold=0.9,
+                    min_samples=20,
+                    open_ns=50_000.0,
+                ),
+            )
+            self.stores = [node.store for node in self.cluster.nodes]
+            self.processors = [
+                node.stack.processor for node in self.cluster.nodes
+            ]
+        else:
+            #: One share-nothing store per shard; shard 0 uses the base
+            #: seed, so a single-shard soak is byte-identical to the
+            #: unsharded one.
+            self.stores = [
+                KVDirectStore.create(
+                    memory_size=cfg.memory_size,
+                    seed=cfg.seed + shard,
+                    max_inflight=cfg.max_inflight,
+                    overload=cfg.overload,
+                    fault_plan=cfg.fault_plan,
+                )
+                for shard in range(cfg.num_shards)
+            ]
+            self.processors = [
+                KVProcessor(self.sim, store, tracer=tracer)
+                for store in self.stores
+            ]
+        self.store = self.stores[0]
         self.processor = self.processors[0]
         self.model = _RefModel()
         self.report = SoakReport(
@@ -236,6 +324,21 @@ class _Soak:
         )
         self._hash = hashlib.sha256()
         self.schedule = self._build_schedule()
+        if cfg.kill_node and self.cluster is not None:
+            # Deterministic mid-run kill: the primary of the first soak
+            # key's slot dies once it has accepted ~40% of its expected
+            # share of arrivals - a pure function of the configuration.
+            target = self.cluster.map.primary(
+                self.cluster.map.slot_of(b"soak0000")
+            )
+            total_ops = cfg.num_keys * cfg.ops_per_key
+            accepts = max(1, int(
+                _KILL_FRACTION * total_ops / cfg.cluster_nodes
+            ))
+            self.cluster.kill_after_accepts(target, accepts)
+            self._hash.update(
+                f"kill|{target}|{accepts}\n".encode()
+            )
 
     # -- deterministic schedule -------------------------------------------
 
@@ -302,6 +405,13 @@ class _Soak:
         """The shard owning a key (the server-side routing function)."""
         return shard_of(key, self.cfg.num_shards)
 
+    def _store_for(self, key: bytes) -> KVDirectStore:
+        """The store currently authoritative for a key."""
+        if self.cluster is not None:
+            slot = self.cluster.map.slot_of(key)
+            return self.cluster.nodes[self.cluster.map.primary(slot)].store
+        return self.stores[self._shard(key)]
+
     def _driver(self, key_idx: int):
         cfg = self.cfg
         for i, (op, gap) in enumerate(self.schedule[key_idx]):
@@ -311,12 +421,18 @@ class _Soak:
                 if cfg.deadline_budget_ns is not None
                 else None
             )
-            processor = self.processors[self._shard(op.key)]
-            event = processor.submit(op, deadline_ns=deadline)
             self.report.submitted += 1
             outcome = "ok"
             try:
-                yield event
+                if self.router is not None:
+                    result = yield from self.router.perform(
+                        op, deadline_ns=deadline
+                    )
+                else:
+                    processor = self.processors[self._shard(op.key)]
+                    result = yield processor.submit(
+                        op, deadline_ns=deadline
+                    )
             except ServerBusy:
                 self.report.shed += 1
                 outcome = "shed"
@@ -331,7 +447,7 @@ class _Soak:
                 self._reconcile_failure(op)
             else:
                 self.report.completed += 1
-                self._check_response(op, event.value)
+                self._check_response(op, result)
             self._hash.update(
                 f"out|{key_idx}|{i}|{op.seq}|{outcome}\n".encode()
             )
@@ -355,7 +471,7 @@ class _Soak:
         between is a divergence.
         """
         before = self.model.state.get(op.key)
-        actual = self.stores[self._shard(op.key)].get(op.key)
+        actual = self._store_for(op.key).get(op.key)
         if actual == before:
             return
         self.model.apply(op)
@@ -382,14 +498,64 @@ class _Soak:
         done = self.sim.all_of(procs)
         self.sim.run(done)
         report = self.report
+        if self.cluster is not None:
+            # Let replication channels drain and any in-flight failover
+            # finish before the replicas are compared differentially.
+            self.sim.run(self.sim.process(self.cluster.quiesce()))
         report.elapsed_ns = self.sim.now
-        # Shard routing is disjoint, so the union of per-shard states must
-        # equal the single reference model's state.
-        merged: Dict[bytes, bytes] = {}
-        for store in self.stores:
-            merged.update(store.items())
+        if self.cluster is not None:
+            merged = self.cluster.primary_state()
+        else:
+            # Shard routing is disjoint, so the union of per-shard states
+            # must equal the single reference model's state.
+            merged: Dict[bytes, bytes] = {}
+            for store in self.stores:
+                merged.update(store.items())
         report.final_state_matches = merged == self.model.state
-        if self.cfg.num_shards == 1:
+        if self.cluster is not None:
+            report.divergences.extend(
+                self.cluster.replication_divergences()
+            )
+            report.faults_fired = self.cluster.injector.fired
+            for store in self.stores:
+                if store.injector is not None:
+                    report.faults_fired += store.injector.fired
+            for line in self.cluster.fault_digest_lines():
+                self._hash.update(f"faults|{line}\n".encode())
+            self._hash.update(
+                f"epoch|{self.cluster.map.epoch}\n".encode()
+            )
+            report.robustness = self.router.robustness_snapshot()
+            cluster = self.cluster
+            report.cluster = {
+                "nodes": len(cluster.nodes),
+                "alive_nodes": cluster.alive_nodes,
+                "slots": cluster.map.num_slots,
+                "epoch": cluster.map.epoch,
+                "epoch_bumps": cluster.counters.get("epoch_bumps"),
+                "failovers": cluster.counters.get("failovers"),
+                "promotions": cluster.counters.get("promotions"),
+                "migrated_keys": cluster.counters.get("migrated_keys"),
+                "replication_records": cluster.counters.get(
+                    "replication_records"
+                ),
+                "replication_applies": cluster.counters.get(
+                    "replication_applies"
+                ),
+                "replication_skipped": cluster.counters.get(
+                    "replication_skipped"
+                ),
+                "replication_lag_p99_ns": (
+                    round(cluster.replication_lag_ns.percentile(99), 3)
+                    if cluster.replication_lag_ns.count
+                    else None
+                ),
+                "failover_time_ns": [
+                    round(sample, 3)
+                    for sample in cluster.failover_time_ns.samples()
+                ],
+            }
+        elif self.cfg.num_shards == 1:
             injector = self.store.injector
             if injector is not None:
                 report.faults_fired = injector.fired
@@ -421,7 +587,10 @@ def run_soak(
     """
     soak = _Soak(config or SoakConfig(), tracer)
     if registry is not None:
-        if soak.cfg.num_shards == 1:
+        if soak.cluster is not None:
+            soak.cluster.register_metrics(registry)
+            soak.router.register_metrics(registry)
+        elif soak.cfg.num_shards == 1:
             soak.processor.register_metrics(registry)
         else:
             for shard, processor in enumerate(soak.processors):

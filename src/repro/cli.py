@@ -288,9 +288,51 @@ def _build_parser() -> argparse.ArgumentParser:
              "default 1 = the original single-stack soak)",
     )
     soak.add_argument(
+        "--nodes", type=int, default=0,
+        help="soak a replicated cluster of N nodes instead of plain "
+             "shards (routes through the epoch-aware ClusterRouter)",
+    )
+    soak.add_argument(
+        "--slots", type=int, default=8,
+        help="placement-directory slots in cluster mode",
+    )
+    soak.add_argument(
+        "--kill-node", action="store_true",
+        help="kill one primary mid-soak and fail over to its backup "
+             "(cluster mode, needs --nodes >= 2)",
+    )
+    soak.add_argument(
         "--json", action="store_true",
         help="emit the canonical JSON report (byte-identical across runs "
              "of the same arguments)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="fault-tolerant cluster: replicated nodes behind a placement "
+             "directory, optional mid-run primary kill + failover "
+             "(docs/ARCHITECTURE.md)",
+    )
+    cluster.add_argument("--nodes", type=int, default=3)
+    cluster.add_argument("--slots", type=int, default=8)
+    cluster.add_argument("--ops", type=int, default=2000)
+    cluster.add_argument("--corpus", type=int, default=512)
+    cluster.add_argument("--kv-size", type=int, default=13)
+    cluster.add_argument("--put-ratio", type=float, default=0.5)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--concurrency", type=int, default=64)
+    cluster.add_argument(
+        "--kill-node", action="store_true",
+        help="kill the first key's primary mid-run (deterministic, "
+             "count-based) and report the failover",
+    )
+    cluster.add_argument(
+        "--json", action="store_true",
+        help="emit run statistics + cluster counters as JSON",
+    )
+    cluster.add_argument(
+        "--snapshot", metavar="PATH",
+        help="write a BENCH_*.json snapshot of the run to PATH",
     )
 
     multinic = sub.add_parser(
@@ -822,6 +864,9 @@ def _cmd_soak(args, out) -> int:
         deadline_budget_ns=(
             args.deadline_us * 1e3 if args.deadline_us is not None else None
         ),
+        cluster_nodes=args.nodes,
+        cluster_slots=args.slots,
+        kill_node=args.kill_node,
     )
     report = run_soak(config)
     problems = report.check()
@@ -840,12 +885,110 @@ def _cmd_soak(args, out) -> int:
             ["faults fired", str(report.faults_fired)],
             ["divergences", str(len(report.divergences))],
             ["digest", report.digest[:16]],
-            ["verdict", "PASS" if not problems else
-             "FAIL: " + "; ".join(problems)],
         ]
+        if report.cluster:
+            rows += [
+                ["cluster", f"{report.cluster['alive_nodes']}/"
+                            f"{report.cluster['nodes']} nodes alive, "
+                            f"epoch {report.cluster['epoch']}"],
+                ["failovers", str(report.cluster["failovers"])],
+                ["retries", f"{report.robustness['node_down_retries']} "
+                            f"node-down, "
+                            f"{report.robustness['wrong_epoch_retries']} "
+                            f"wrong-epoch"],
+            ]
+        rows.append(
+            ["verdict", "PASS" if not problems else
+             "FAIL: " + "; ".join(problems)]
+        )
         print(format_table("Chaos soak", ["metric", "value"], rows),
               file=out)
     return 0 if not problems else 1
+
+
+def _cmd_cluster(args, out) -> int:
+    from repro.client.router import ClusterRouter
+    from repro.core.config import KVDirectConfig
+    from repro.multi import Cluster
+    from repro.workloads.keyspace import KeySpace
+
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        num_nodes=args.nodes,
+        num_slots=args.slots,
+        config=KVDirectConfig(memory_size=4 << 20, seed=args.seed),
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                        seed=args.seed)
+    for key, value in keyspace.pairs():
+        cluster.preload(key, value)
+    for node in cluster.nodes:
+        node.store.reset_measurements()
+    generator = YCSBGenerator(
+        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+    )
+    ops = list(generator.operations(args.ops))
+    if args.kill_node:
+        if args.nodes < 2:
+            raise SystemExit("--kill-node needs --nodes >= 2 (a backup "
+                             "must exist to promote)")
+        target = cluster.map.primary(cluster.map.slot_of(ops[0].key))
+        cluster.kill_after_accepts(
+            target, max(1, int(0.4 * len(ops) / args.nodes))
+        )
+    router = ClusterRouter(sim, cluster, seed=args.seed)
+    stats = router.run(ops, concurrency=args.concurrency)
+    payload = dict(stats)
+    payload["counters"] = dict(sorted(cluster.counters.snapshot().items()))
+    payload["robustness"] = router.robustness_snapshot()
+    payload["alive_nodes"] = cluster.alive_nodes
+    if args.snapshot:
+        from repro.obs import bench_history
+
+        snapshot = bench_history.snapshot_from_run(
+            f"cluster-{args.nodes}n", cluster.nodes[0].stack.processor,
+            stats,
+            extra={
+                "seed": args.seed,
+                "nodes": args.nodes,
+                "slots": args.slots,
+                "corpus": args.corpus,
+                "put_ratio": args.put_ratio,
+                "kill_node": bool(args.kill_node),
+                "epoch": cluster.map.epoch,
+                "failovers": cluster.counters.get("failovers"),
+                "replication_records": cluster.counters.get(
+                    "replication_records"
+                ),
+            },
+        )
+        snapshot.save(args.snapshot)
+        payload["snapshot"] = args.snapshot
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    rows = [
+        ["nodes", f"{cluster.alive_nodes}/{args.nodes} alive"],
+        ["slots", str(args.slots)],
+        ["epoch", str(cluster.map.epoch)],
+        ["operations", str(int(stats["operations"]))],
+        ["completed", str(int(stats["completed"]))],
+        ["failed", str(int(stats["failed"]))],
+        *_latency_rows(stats, pcts=(50, 99)),
+        ["replication records",
+         str(cluster.counters.get("replication_records"))],
+        ["failovers", str(cluster.counters.get("failovers"))],
+    ]
+    if cluster.failover_time_ns.count:
+        rows.append([
+            "failover time",
+            f"{cluster.failover_time_ns.mean() / 1e3:.2f} us",
+        ])
+    if args.snapshot:
+        rows.append(["snapshot", args.snapshot])
+    print(format_table("Cluster run", ["metric", "value"], rows), file=out)
+    return 0
 
 
 def _cmd_multinic(args, out) -> int:
@@ -924,6 +1067,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "overload": _cmd_overload,
     "soak": _cmd_soak,
+    "cluster": _cmd_cluster,
     "multinic": _cmd_multinic,
 }
 

@@ -3,12 +3,13 @@ shard-aware routing."""
 
 from repro.client.client import ClientStats, KVClient
 from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
-from repro.client.router import RouterStats, ShardRouter
+from repro.client.router import ClusterRouter, RouterStats, ShardRouter
 
 __all__ = [
     "BackoffPolicy",
     "CircuitBreaker",
     "ClientStats",
+    "ClusterRouter",
     "KVClient",
     "RetryBudget",
     "RouterStats",

@@ -1,7 +1,7 @@
-"""Shard-aware client routing for a multi-NIC server.
+"""Shard- and cluster-aware client routing.
 
 "Clients route operations to the NIC owning the key, by key hash": the
-router mirrors the server's shard function
+:class:`ShardRouter` mirrors the server's shard function
 (:func:`repro.core.hashing.shard_of`) on the client side, partitions an
 operation stream into per-shard substreams, and drives one full
 :class:`~repro.client.client.KVClient` (batching, wire flights, retries,
@@ -10,19 +10,37 @@ deadlines) per shard concurrently under the shared simulator.
 Within a shard, operation order is preserved - same-key ops always hash
 to the same shard, so per-key serialization survives routing.  Across
 shards there is no ordering, exactly like independent NICs.
+
+The :class:`ClusterRouter` is the fault-tolerant variant over a
+:class:`~repro.multi.cluster.Cluster`: every attempt re-reads the
+placement directory, stamps the current epoch on the operation, and
+routes to the slot's primary; retryable NACKs
+(:class:`~repro.errors.NodeDown`, :class:`~repro.errors.WrongEpoch`)
+back off and re-route - the first ``NodeDown(reason="killed")`` observed
+triggers cluster failover.  Because a NACKed operation provably had no
+side effects, retrying it never double-applies, and because failover
+drains replication before promoting, a read after the epoch bump always
+sees every acknowledged write (read-your-writes across failover).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.client.client import ClientStats, KVClient
+from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
 from repro.core.hashing import shard_of
 from repro.core.operations import KVOperation
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    KVDirectError,
+    NodeDown,
+    RetryExhausted,
+    WrongEpoch,
+)
 from repro.sim.engine import Simulator
-from repro.sim.stats import mops
+from repro.sim.stats import Counter, Histogram, mops
 
 
 @dataclass
@@ -68,7 +86,14 @@ class ShardRouter:
 
     def shard_of(self, key: bytes) -> int:
         """The shard owning a key (mirrors the server's function)."""
-        return shard_of(key, self.shards)
+        shard = shard_of(key, self.shards)
+        if shard >= len(self.clients):
+            raise ConfigurationError(
+                f"key {key!r} hashes to shard {shard} but only "
+                f"{len(self.clients)} shard clients exist (stacks mutated "
+                f"after construction?)"
+            )
+        return shard
 
     def partition(
         self, ops: Sequence[KVOperation]
@@ -85,6 +110,13 @@ class ShardRouter:
         shard's client finished, then aggregates their statistics."""
         if not ops:
             raise ConfigurationError("no operations to run")
+        if len(self.clients) != len(self.stacks):
+            # zip() below would silently drop the excess shards' ops.
+            raise ConfigurationError(
+                f"router has {len(self.clients)} clients but "
+                f"{len(self.stacks)} stacks: stacks were mutated after "
+                f"construction"
+            )
         parts = self.partition(ops)
         start = self.sim.now
         procs = []
@@ -108,3 +140,177 @@ class ShardRouter:
             per_shard_mops=total / self.shards,
             per_shard=per_shard,
         )
+
+
+class ClusterRouter:
+    """Epoch-aware, failover-tolerant routing over a replicated cluster.
+
+    :meth:`perform` is a generator meant to run inside a simulation
+    process (``result = yield from router.perform(op)``): each attempt
+    re-reads the :class:`~repro.multi.cluster.ClusterMap`, stamps the
+    current epoch, pays ``route_delay_ns`` of wire time (during which the
+    epoch may move - that is how :class:`~repro.errors.WrongEpoch` fires)
+    and submits to the slot's primary.  Retryable NACKs back off through
+    a dedicated :class:`~repro.client.robust.BackoffPolicy` stream,
+    bounded by ``retry_limit`` and the optional
+    :class:`~repro.client.robust.RetryBudget`; the optional
+    :class:`~repro.client.robust.CircuitBreaker` fails fast while open.
+    Non-retryable failures (shed, deadline, injected faults) propagate to
+    the caller unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster,
+        seed: int = 0,
+        retry_limit: int = 32,
+        route_delay_ns: float = 50.0,
+        backoff: Optional[BackoffPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        if retry_limit < 0:
+            raise ConfigurationError("retry limit must be non-negative")
+        if route_delay_ns < 0:
+            raise ConfigurationError("route delay must be non-negative")
+        self.sim = sim
+        self.cluster = cluster
+        self.retry_limit = retry_limit
+        self.route_delay_ns = route_delay_ns
+        self.backoff = backoff or BackoffPolicy(
+            base_ns=1_000.0,
+            max_ns=100_000.0,
+            jitter=0.1,
+            seed=seed,
+            stream="cluster",
+        )
+        self.budget = retry_budget
+        self.breaker = breaker
+        self.counters = Counter()
+        self.latency_ns = Histogram()
+
+    def perform(self, op: KVOperation, deadline_ns: Optional[float] = None):
+        """Generator: route one operation to ack or a terminal failure."""
+        sim = self.sim
+        cluster = self.cluster
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                self.counters.add("breaker_fast_fails")
+                yield sim.timeout(max(self.breaker.wait_ns(), 1.0))
+                continue
+            slot = cluster.map.slot_of(op.key)
+            primary = cluster.map.primary(slot)
+            stamped = replace(op, epoch=cluster.map.epoch)
+            # Wire time between stamping and arrival: an epoch bump can
+            # land in this window, which is exactly the stale-routing race
+            # the WrongEpoch NACK exists for.
+            yield sim.timeout(self.route_delay_ns)
+            event = cluster.nodes[primary].submit(
+                stamped, deadline_ns=deadline_ns
+            )
+            try:
+                result = yield event
+            except NodeDown as exc:
+                if exc.reason == "killed":
+                    cluster.notice_node_down(exc.node)
+                self.counters.add("node_down_retries")
+            except WrongEpoch:
+                self.counters.add("wrong_epoch_retries")
+            else:
+                if self.breaker is not None:
+                    self.breaker.record(True)
+                if self.budget is not None:
+                    self.budget.on_success()
+                return result
+            if self.breaker is not None:
+                self.breaker.record(False)
+            attempt += 1
+            if attempt > self.retry_limit:
+                self.counters.add("give_ups")
+                raise RetryExhausted(
+                    f"{op.op.name} on {op.key!r} NACKed {attempt} times"
+                )
+            if self.budget is not None and not self.budget.try_spend():
+                self.counters.add("give_ups")
+                raise RetryExhausted(
+                    f"{op.op.name} on {op.key!r}: retry budget exhausted"
+                )
+            yield sim.timeout(self.backoff.delay(attempt))
+
+    def run(self, ops: Sequence[KVOperation], concurrency: int = 64) -> dict:
+        """Closed-loop run: ``concurrency`` workers drain the op stream
+        through :meth:`perform`, then the cluster quiesces (channels
+        drained, failovers finished) before statistics are read."""
+        if not ops:
+            raise ConfigurationError("no operations to run")
+        if concurrency <= 0:
+            raise ConfigurationError("concurrency must be positive")
+        sim = self.sim
+        start = sim.now
+        stream = iter(ops)
+        outcomes = {"completed": 0, "failed": 0}
+
+        def worker():
+            for op in stream:
+                issued = sim.now
+                try:
+                    yield from self.perform(op)
+                except KVDirectError:
+                    outcomes["failed"] += 1
+                else:
+                    outcomes["completed"] += 1
+                    self.latency_ns.record(sim.now - issued)
+
+        workers = [
+            sim.process(worker())
+            for __ in range(min(concurrency, len(ops)))
+        ]
+        sim.run(sim.all_of(workers))
+        sim.run(sim.process(self.cluster.quiesce()))
+        elapsed = sim.now - start
+        stats = {
+            "nodes": float(len(self.cluster.nodes)),
+            "slots": float(self.cluster.map.num_slots),
+            "operations": float(len(ops)),
+            "completed": float(outcomes["completed"]),
+            "failed": float(outcomes["failed"]),
+            "elapsed_ns": elapsed,
+            "throughput_mops": mops(outcomes["completed"], elapsed),
+            "epoch": float(self.cluster.map.epoch),
+        }
+        for pct in (50, 95, 99):
+            stats[f"latency_p{pct}_ns"] = (
+                self.latency_ns.percentile(pct)
+                if self.latency_ns.count
+                else None
+            )
+        stats["latency_mean_ns"] = (
+            self.latency_ns.mean() if self.latency_ns.count else None
+        )
+        return stats
+
+    def robustness_snapshot(self) -> Dict[str, int]:
+        """The retry/fast-fail counters one soak report surfaces."""
+        snapshot = {
+            "node_down_retries": self.counters.get("node_down_retries"),
+            "wrong_epoch_retries": self.counters.get("wrong_epoch_retries"),
+            "retry_give_ups": self.counters.get("give_ups"),
+            "breaker_fast_fails": self.counters.get("breaker_fast_fails"),
+            "breaker_opens": (
+                self.breaker.opens if self.breaker is not None else 0
+            ),
+            "budget_spent": (
+                self.budget.spent if self.budget is not None else 0
+            ),
+            "budget_refused": (
+                self.budget.refused if self.budget is not None else 0
+            ),
+        }
+        return snapshot
+
+    def register_metrics(self, registry) -> None:
+        """Register the router's counters under ``cluster.router``."""
+        registry.register("cluster.router", self.counters)
+        registry.register("cluster.router_latency_ns", self.latency_ns)

@@ -69,6 +69,11 @@ class KVOperation:
     param: bytes = b""
     #: Client-side issue sequence, for latency attribution.
     seq: int = field(default=0, compare=False)
+    #: Cluster-map epoch the client stamped at routing time; -1 disables
+    #: the epoch check (single-node and plain sharded paths).  Nodes in a
+    #: cluster reject mismatched epochs with
+    #: :class:`~repro.errors.WrongEpoch` before any side effect.
+    epoch: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, (bytes, bytearray)):

@@ -81,6 +81,43 @@ class ServerBusy(KVDirectError):
         self.reason = reason
 
 
+class NodeDown(KVDirectError):
+    """The cluster node addressed by this operation is not serving it.
+
+    A retryable NACK (like :class:`ServerBusy`): the operation never
+    entered the node's pipeline and had no side effects.  Raised when a
+    node was killed or stalled by a node-level fault
+    (``node<i>.kill`` / ``node<i>.stall`` sites), or while a key range is
+    write-blocked during failover migration.  Clients re-read the
+    :class:`~repro.multi.cluster.ClusterMap` and retry with backoff; the
+    first NodeDown observed for a dead node triggers failover.
+    """
+
+    def __init__(self, message: str, node: int = -1, reason: str = "") -> None:
+        super().__init__(message)
+        #: Index of the node that refused the operation.
+        self.node = node
+        #: Why it refused (``"killed"``, ``"migrating"``).
+        self.reason = reason
+
+
+class WrongEpoch(KVDirectError):
+    """The operation was stamped with a stale cluster-map epoch.
+
+    A retryable NACK: the placement directory changed (a failover bumped
+    the epoch) between the client stamping the operation and the node
+    receiving it.  The operation never executed; the client must re-read
+    the :class:`~repro.multi.cluster.ClusterMap`, re-stamp, and resend.
+    """
+
+    def __init__(self, message: str, expected: int = -1, got: int = -1) -> None:
+        super().__init__(message)
+        #: The node's current epoch.
+        self.expected = expected
+        #: The stale epoch the operation carried.
+        self.got = got
+
+
 class CorruptionDetected(KVDirectError):
     """Data corruption was detected (and not correctable) by the ECC path.
 

@@ -144,6 +144,16 @@ class FaultInjector:
             now,
         )
 
+    def node_kill(self, site: str, now: float) -> bool:
+        return self.fire(
+            f"{site}.kill", "node_kill", self.plan.node_kill_prob, now
+        )
+
+    def node_stall(self, site: str, now: float) -> bool:
+        return self.fire(
+            f"{site}.stall", "node_stall", self.plan.node_stall_prob, now
+        )
+
     def slab_exhausted(self, detail: str = "") -> bool:
         return self.fire(
             "slab.exhaust",

@@ -91,6 +91,16 @@ class FaultPlan:
     #: Chance an allocation fails as if the dynamic area were exhausted.
     slab_exhaust_prob: float = 0.0
 
+    # -- cluster nodes (multi/cluster.py) ---------------------------------
+    #: Chance a whole node (one ServerStack) is killed, drawn once per
+    #: operation arrival at that node.  A killed node NACKs everything with
+    #: :class:`~repro.errors.NodeDown` until failover promotes its backup.
+    node_kill_prob: float = 0.0
+    #: Chance a node stalls (stops serving for ``node_stall_ns``) at an
+    #: operation arrival; stalled nodes NACK like killed ones but recover.
+    node_stall_prob: float = 0.0
+    node_stall_ns: float = 200_000.0
+
     # -- scheduling --------------------------------------------------------
     #: Simulated-time window outside which timed faults are suppressed.
     window: FaultWindow = FaultWindow()
@@ -108,6 +118,8 @@ class FaultPlan:
             "packet_reorder_prob",
             "packet_duplicate_prob",
             "slab_exhaust_prob",
+            "node_kill_prob",
+            "node_stall_prob",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -118,6 +130,7 @@ class FaultPlan:
             "dma_delay_ns",
             "dma_retry_timeout_ns",
             "packet_reorder_delay_ns",
+            "node_stall_ns",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")

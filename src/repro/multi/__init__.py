@@ -1,6 +1,14 @@
-"""Multi-NIC scaling: many full server stacks in one commodity server."""
+"""Multi-NIC scaling: many full server stacks in one commodity server,
+and the fault-tolerant cluster layer over them."""
 
+from repro.multi.cluster import Cluster, ClusterMap, Placement
 from repro.multi.multinic import MultiNICServer
 from repro.multi.stack import ServerStack
 
-__all__ = ["MultiNICServer", "ServerStack"]
+__all__ = [
+    "Cluster",
+    "ClusterMap",
+    "MultiNICServer",
+    "Placement",
+    "ServerStack",
+]

@@ -1,0 +1,618 @@
+"""Fault-tolerant cluster mode: replicated server stacks behind a directory.
+
+KV-Direct scales by composing share-nothing NICs; this layer makes that
+composition survive a NIC (node) death.  A :class:`ClusterMap` is the
+placement directory: keys hash to *slots* (key ranges), each slot names a
+primary and a backup node, and the whole map carries a versioned *epoch*.
+Writes apply at the slot's primary and are asynchronously replicated to
+its backup through a cluster-owned :class:`ReplicationChannel` (FIFO,
+state-based: each record carries a full value snapshot taken when the
+write settled, so replay is idempotent and last-writer-wins).
+
+Node-level faults (``node<i>.kill`` / ``node<i>.stall`` sites, driven by
+:class:`~repro.faults.plan.FaultPlan` probabilities or scheduled
+explicitly) take a whole stack down mid-run.  A dead node NACKs every
+operation with a retryable :class:`~repro.errors.NodeDown` and has no
+further side effects; failover then
+
+1. waits for the dead node's in-flight operations to settle,
+2. write-blocks the affected slots and drains their replication
+   channels (an acknowledged write always enqueued its record *at ack
+   time*, and the channels are owned by the cluster, not the dying node
+   - so draining guarantees **zero lost acknowledged writes**),
+3. promotes each slot's backup to primary and bumps the epoch
+   (operations stamped with the stale epoch NACK with
+   :class:`~repro.errors.WrongEpoch` and re-route),
+4. migrates each affected slot's keys to a freshly chosen backup to
+   re-establish the replication factor, then unblocks writes.
+
+Everything runs in simulated time under deterministic seeds: failover
+time and replication lag are histograms in sim-ns, and the fault log
+(including the kill itself) folds into the soak digest, so two runs of
+the same config are byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import KVDirectConfig
+from repro.core.hashing import shard_of
+from repro.core.operations import KVOperation
+from repro.core.store import KVDirectStore
+from repro.errors import (
+    ConfigurationError,
+    KVDirectError,
+    NodeDown,
+    WrongEpoch,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.multi.stack import ServerStack
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Event, Simulator
+from repro.sim.stats import Counter, Histogram
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One slot's owners: primary serves everything, backup replicates.
+
+    ``backup`` is ``None`` while a slot runs unreplicated (mid-failover,
+    or when too few nodes survive to re-establish the factor).
+    """
+
+    primary: int
+    backup: Optional[int] = None
+
+
+class ClusterMap:
+    """The placement directory: key -> slot -> (primary, backup), versioned.
+
+    Slots are key ranges under the same hash the shard router uses
+    (:func:`~repro.core.hashing.shard_of` over ``num_slots``).  The
+    initial layout round-robins: slot ``s`` has primary ``s % n`` and
+    backup ``(s + 1) % n``.  Every failover that repoints placements
+    bumps :attr:`epoch`; clients stamp operations with the epoch they
+    routed under, and nodes reject stale stamps with
+    :class:`~repro.errors.WrongEpoch` before any side effect.
+    """
+
+    def __init__(self, num_slots: int, num_nodes: int) -> None:
+        if num_slots <= 0:
+            raise ConfigurationError("cluster map needs at least one slot")
+        if num_nodes <= 0:
+            raise ConfigurationError("cluster map needs at least one node")
+        self.num_slots = num_slots
+        self.num_nodes = num_nodes
+        self.epoch = 0
+        self.placements: List[Placement] = [
+            Placement(
+                primary=slot % num_nodes,
+                backup=(slot + 1) % num_nodes if num_nodes > 1 else None,
+            )
+            for slot in range(num_slots)
+        ]
+
+    def slot_of(self, key: bytes) -> int:
+        """The slot owning a key (same hash family as shard routing)."""
+        return shard_of(key, self.num_slots)
+
+    def primary(self, slot: int) -> int:
+        return self.placements[slot].primary
+
+    def backup(self, slot: int) -> Optional[int]:
+        return self.placements[slot].backup
+
+    def bump(self) -> int:
+        """Advance the epoch (placements changed); returns the new epoch."""
+        self.epoch += 1
+        return self.epoch
+
+    def slots_owned(self, node: int) -> List[int]:
+        """Slots where ``node`` is the current primary."""
+        return [
+            s for s, p in enumerate(self.placements) if p.primary == node
+        ]
+
+    def slots_backed(self, node: int) -> List[int]:
+        """Slots where ``node`` is the current backup."""
+        return [
+            s for s, p in enumerate(self.placements) if p.backup == node
+        ]
+
+
+class ClusterNode:
+    """One cluster member: a full :class:`ServerStack` plus liveness state.
+
+    The node gates every arriving operation - liveness, node-fault draws,
+    epoch check, migration write-block - before handing it to the stack's
+    pipeline, so a refused operation provably had no side effects.
+    """
+
+    def __init__(
+        self, cluster: "Cluster", index: int, stack: ServerStack
+    ) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.stack = stack
+        self.sim = stack.sim
+        self.alive = True
+        self.stalled_until = -1.0
+        #: Operations accepted into the pipeline and not yet settled.
+        self.outstanding = 0
+        #: Operations accepted over the node's lifetime.
+        self.accepted = 0
+        #: Die when ``accepted`` reaches this (deterministic mid-run kill).
+        self.kill_after_accepts: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.stack.name
+
+    @property
+    def store(self) -> KVDirectStore:
+        return self.stack.store
+
+    def die(self, reason: str = "scheduled") -> None:
+        """Kill this node now: no new operations are served, in-flight
+        ones settle normally (their acks still reach the client)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.cluster.injector.fire(
+            f"{self.name}.kill", "node_kill", 1.0, self.sim.now,
+            detail=reason,
+        )
+
+    def _nack(self, exc: KVDirectError) -> Event:
+        self.cluster.counters.add(
+            "wrong_epoch_nacks"
+            if isinstance(exc, WrongEpoch)
+            else "node_down_nacks"
+        )
+        event = self.sim.event()
+        event.fail(exc)
+        return event
+
+    def submit(
+        self, op: KVOperation, deadline_ns: Optional[float] = None
+    ) -> Event:
+        """Gate and submit one operation; the returned event settles with
+        the :class:`~repro.core.operations.KVResult` or fails with a
+        retryable NACK / pipeline error."""
+        sim = self.sim
+        cluster = self.cluster
+        now = sim.now
+        if self.alive and (
+            self.kill_after_accepts is not None
+            and self.accepted >= self.kill_after_accepts
+        ):
+            self.die(reason="kill_after_accepts")
+        if not self.alive:
+            return self._nack(
+                NodeDown(f"{self.name} is down", node=self.index,
+                         reason="killed")
+            )
+        if now < self.stalled_until:
+            return self._nack(
+                NodeDown(f"{self.name} is stalled", node=self.index,
+                         reason="stalled")
+            )
+        injector = cluster.injector
+        if injector.node_kill(self.name, now):
+            self.alive = False
+            return self._nack(
+                NodeDown(f"{self.name} died", node=self.index,
+                         reason="killed")
+            )
+        if injector.node_stall(self.name, now):
+            self.stalled_until = now + injector.plan.node_stall_ns
+            return self._nack(
+                NodeDown(f"{self.name} stalled", node=self.index,
+                         reason="stalled")
+            )
+        if op.epoch != -1 and op.epoch != cluster.map.epoch:
+            return self._nack(
+                WrongEpoch(
+                    f"operation stamped epoch {op.epoch}, cluster is at "
+                    f"{cluster.map.epoch}",
+                    expected=cluster.map.epoch,
+                    got=op.epoch,
+                )
+            )
+        slot = cluster.map.slot_of(op.key)
+        if op.is_write and slot in cluster.migrating_slots:
+            return self._nack(
+                NodeDown(
+                    f"slot {slot} is write-blocked during migration",
+                    node=self.index,
+                    reason="migrating",
+                )
+            )
+        self.accepted += 1
+        self.outstanding += 1
+        cluster.slot_outstanding[slot] += 1
+        event = self.stack.submit(op, deadline_ns=deadline_ns)
+
+        def _settled(_event: Event, op=op, slot=slot) -> None:
+            self.outstanding -= 1
+            cluster.slot_outstanding[slot] -= 1
+            if op.is_write:
+                cluster.replicate(slot, op.key, self)
+
+        event.add_callback(_settled)
+        return event
+
+
+class ReplicationChannel:
+    """Cluster-owned FIFO of state records for one slot.
+
+    Records are ``(key, value-or-None, acked_at_ns)`` snapshots of the
+    primary's state when the write settled; a lazy drain process applies
+    them to the slot's *current* backup after ``replication_delay_ns``
+    each.  Because the channel outlives its nodes, every record enqueued
+    at ack time survives a primary kill - failover drains the channel
+    into the backup before promoting it.
+    """
+
+    def __init__(self, cluster: "Cluster", slot: int) -> None:
+        self.cluster = cluster
+        self.slot = slot
+        self.queue: Deque[Tuple[bytes, Optional[bytes], float]] = deque()
+        self._draining = False
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def enqueue(
+        self, key: bytes, value: Optional[bytes], acked_at: float
+    ) -> None:
+        self.queue.append((key, value, acked_at))
+        self.cluster.counters.add("replication_records")
+        if not self._draining:
+            self._draining = True
+            self.cluster.sim.process(self._drain())
+
+    def _drain(self):
+        cluster = self.cluster
+        sim = cluster.sim
+        while self.queue:
+            yield sim.timeout(cluster.replication_delay_ns)
+            key, value, acked_at = self.queue.popleft()
+            backup = cluster.map.backup(self.slot)
+            if backup is None or not cluster.nodes[backup].alive:
+                cluster.counters.add("replication_skipped")
+            else:
+                cluster.apply_state(cluster.nodes[backup], key, value)
+                cluster.counters.add("replication_applies")
+                cluster.replication_lag_ns.record(sim.now - acked_at)
+        self._draining = False
+
+
+class Cluster:
+    """N replicated :class:`ServerStack` nodes behind a :class:`ClusterMap`.
+
+    Route through :class:`~repro.client.router.ClusterRouter`; submitting
+    directly to :attr:`nodes` bypasses epoch stamping and retries.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        num_slots: int = 8,
+        config: Optional[KVDirectConfig] = None,
+        tracer: Optional[Tracer] = None,
+        replication_delay_ns: float = 200.0,
+        migration_delay_per_key_ns: float = 300.0,
+        poll_ns: float = 100.0,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError("cluster needs at least one node")
+        self.sim = sim
+        base = config or KVDirectConfig(memory_size=4 << 20)
+        self.map = ClusterMap(num_slots, num_nodes)
+        self.replication_delay_ns = replication_delay_ns
+        self.migration_delay_per_key_ns = migration_delay_per_key_ns
+        self.poll_ns = poll_ns
+        self.counters = Counter()
+        self.replication_lag_ns = Histogram()
+        self.failover_time_ns = Histogram()
+        #: Node-level fault sites (``node<i>.kill`` / ``node<i>.stall``)
+        #: share one injector with per-site RNG streams; scheduled kills
+        #: also land here so the fault log covers them.
+        self.injector = FaultInjector(
+            base.fault_plan or FaultPlan(), seed=base.seed
+        )
+        self.nodes: List[ClusterNode] = []
+        for index in range(num_nodes):
+            store = KVDirectStore(
+                base.with_overrides(seed=base.seed + index)
+            )
+            stack = ServerStack(
+                sim, name=f"node{index}", tracer=tracer, store=store
+            )
+            self.nodes.append(ClusterNode(self, index, stack))
+        self.channels = [
+            ReplicationChannel(self, slot) for slot in range(num_slots)
+        ]
+        #: Slots currently write-blocked by an in-progress migration.
+        self.migrating_slots: Set[int] = set()
+        self.slot_outstanding: List[int] = [0] * num_slots
+        self._failed_over: Set[int] = set()
+        self._failovers_active = 0
+
+    # -- data path ---------------------------------------------------------
+
+    def preload(self, key: bytes, value: bytes) -> None:
+        """Functional insert to primary *and* backup (benchmark prep)."""
+        slot = self.map.slot_of(key)
+        placement = self.map.placements[slot]
+        self.nodes[placement.primary].store.put(key, value)
+        if placement.backup is not None:
+            self.nodes[placement.backup].store.put(key, value)
+
+    def replicate(self, slot: int, key: bytes, primary: ClusterNode) -> None:
+        """Enqueue a state record for a settled write (ack-time snapshot).
+
+        Called on *every* write settle - success or failure - because a
+        hardware fault during timing replay can fire after functional
+        execution; snapshotting the store's actual state is correct in
+        both cases and keeps replication idempotent.
+        """
+        self.channels[slot].enqueue(
+            key, primary.store.get(key), self.sim.now
+        )
+
+    def apply_state(
+        self, node: ClusterNode, key: bytes, value: Optional[bytes]
+    ) -> None:
+        """Apply one state record to a node's store (put or delete).
+
+        Injected slab exhaustion is a fresh draw per attempt, so a failed
+        apply retries (bounded) rather than silently dropping the record.
+        """
+        for __ in range(64):
+            try:
+                if value is None:
+                    node.store.delete(key)
+                else:
+                    node.store.put(key, value)
+                return
+            except KVDirectError:
+                self.counters.add("replication_apply_retries")
+        self.counters.add("replication_apply_failures")
+
+    # -- faults and failover ----------------------------------------------
+
+    def kill_at(self, node_id: int, at_ns: float) -> None:
+        """Schedule a deterministic kill of one node at an absolute time."""
+
+        def killer():
+            delay = at_ns - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.nodes[node_id].die(reason=f"kill_at:{at_ns!r}")
+
+        self.sim.process(killer())
+
+    def kill_after_accepts(self, node_id: int, accepts: int) -> None:
+        """Kill one node once it has accepted ``accepts`` operations.
+
+        Count-based (not time-based), so the kill lands mid-run for any
+        workload without estimating its duration; deterministic for a
+        fixed schedule.
+        """
+        self.nodes[node_id].kill_after_accepts = accepts
+
+    @property
+    def alive_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.alive)
+
+    @property
+    def failover_in_progress(self) -> bool:
+        return self._failovers_active > 0
+
+    def notice_node_down(self, node_id: int) -> None:
+        """Start failover for a dead node (idempotent; routers call this
+        on the first ``NodeDown(reason="killed")`` they observe)."""
+        node = self.nodes[node_id]
+        if node.alive or node_id in self._failed_over:
+            return
+        self._failed_over.add(node_id)
+        self._failovers_active += 1
+        self.sim.process(self._fail_over(node_id))
+
+    def _pick_backup(self, exclude: int) -> Optional[int]:
+        """Round-robin choice of an alive backup node != ``exclude``."""
+        n = len(self.nodes)
+        for offset in range(1, n):
+            candidate = (exclude + offset) % n
+            if self.nodes[candidate].alive:
+                return candidate
+        return None
+
+    def _quiesce_slot(self, slot: int):
+        """Wait until a write-blocked slot has no in-flight ops and an
+        empty replication channel (its state is fully settled)."""
+        while self.slot_outstanding[slot] > 0:
+            yield self.sim.timeout(self.poll_ns)
+        while self.channels[slot].pending:
+            yield self.sim.timeout(self.poll_ns)
+
+    def _fail_over(self, node_id: int):
+        """The failover process: drain, promote, bump, re-replicate."""
+        started = self.sim.now
+        node = self.nodes[node_id]
+        # In-flight ops at the dead node settle normally (their acks
+        # were or will be delivered), and each settled write enqueues its
+        # replication record - wait for all of them before draining.
+        while node.outstanding > 0:
+            yield self.sim.timeout(self.poll_ns)
+        primary_slots = self.map.slots_owned(node_id)
+        backup_slots = self.map.slots_backed(node_id)
+        for slot in primary_slots:
+            # Write-block, then drain: every acknowledged write's record
+            # reaches the backup before it becomes the primary.
+            self.migrating_slots.add(slot)
+            yield from self._quiesce_slot(slot)
+            new_primary = self.map.backup(slot)
+            if new_primary is None or not self.nodes[new_primary].alive:
+                self.counters.add("slots_lost")
+                self.migrating_slots.discard(slot)
+                continue
+            self.map.placements[slot] = Placement(
+                primary=new_primary, backup=None
+            )
+            self.counters.add("promotions")
+        self.map.bump()
+        self.counters.add("epoch_bumps")
+        # Re-establish the replication factor for every slot the dead
+        # node touched; each slot stays write-blocked during its copy so
+        # the snapshot cannot race concurrent writes.
+        for slot in primary_slots + backup_slots:
+            placement = self.map.placements[slot]
+            owner = placement.primary
+            if owner == node_id or not self.nodes[owner].alive:
+                self.migrating_slots.discard(slot)
+                continue
+            self.migrating_slots.add(slot)
+            yield from self._quiesce_slot(slot)
+            new_backup = self._pick_backup(exclude=owner)
+            if new_backup is None:
+                self.counters.add("unreplicated_slots")
+                self.map.placements[slot] = Placement(
+                    primary=owner, backup=None
+                )
+                self.migrating_slots.discard(slot)
+                continue
+            target = self.nodes[new_backup]
+            # Clear any stale copy of this slot before the fresh snapshot
+            # (a delete at the primary must not resurrect at the backup).
+            for key in sorted(
+                key
+                for key, __ in target.store.items()
+                if self.map.slot_of(key) == slot
+            ):
+                self.apply_state(target, key, None)
+            snapshot = sorted(
+                (key, value)
+                for key, value in self.nodes[owner].store.items()
+                if self.map.slot_of(key) == slot
+            )
+            for key, value in snapshot:
+                yield self.sim.timeout(self.migration_delay_per_key_ns)
+                self.apply_state(target, key, value)
+                self.counters.add("migrated_keys")
+            self.map.placements[slot] = Placement(
+                primary=owner, backup=new_backup
+            )
+            self.migrating_slots.discard(slot)
+        self.failover_time_ns.record(self.sim.now - started)
+        self.counters.add("failovers")
+        self._failovers_active -= 1
+
+    # -- settling ----------------------------------------------------------
+
+    def quiesce(self):
+        """Generator: wait for every channel to drain and every failover
+        to finish (run it to compare replicas differentially)."""
+        while True:
+            busy = self._failovers_active > 0 or any(
+                channel.pending for channel in self.channels
+            )
+            if not busy:
+                return
+            yield self.sim.timeout(self.poll_ns)
+
+    def primary_state(self) -> dict:
+        """The authoritative key space: each slot read at its primary."""
+        merged = {}
+        for slot in range(self.map.num_slots):
+            primary = self.nodes[self.map.primary(slot)]
+            for key, value in primary.store.items():
+                if self.map.slot_of(key) == slot:
+                    merged[key] = value
+        return merged
+
+    def replication_divergences(self) -> List[str]:
+        """Per-slot primary-vs-backup mismatches (call after quiesce)."""
+        problems: List[str] = []
+        for slot, placement in enumerate(self.map.placements):
+            if placement.backup is None:
+                continue
+            primary = self.nodes[placement.primary]
+            backup = self.nodes[placement.backup]
+            if not primary.alive or not backup.alive:
+                continue
+            want = {
+                key: value
+                for key, value in primary.store.items()
+                if self.map.slot_of(key) == slot
+            }
+            have = {
+                key: value
+                for key, value in backup.store.items()
+                if self.map.slot_of(key) == slot
+            }
+            if want != have:
+                missing = sorted(set(want) - set(have))
+                extra = sorted(set(have) - set(want))
+                stale = sorted(
+                    key for key in set(want) & set(have)
+                    if want[key] != have[key]
+                )
+                problems.append(
+                    f"slot {slot}: backup node{placement.backup} diverged "
+                    f"from primary node{placement.primary} "
+                    f"(missing={missing!r}, extra={extra!r}, "
+                    f"stale={stale!r})"
+                )
+        return problems
+
+    def fault_digest_lines(self) -> List[str]:
+        """Canonical fault-digest lines (cluster sites + per-node stores)
+        for folding into a soak digest."""
+        lines = [f"cluster|{self.injector.schedule_digest()}"]
+        for index, node in enumerate(self.nodes):
+            if node.store.injector is not None:
+                lines.append(
+                    f"node{index}|{node.store.injector.schedule_digest()}"
+                )
+        return lines
+
+    # -- observability ------------------------------------------------------
+
+    def register_metrics(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        include_stacks: bool = False,
+    ) -> MetricsRegistry:
+        """Register ``cluster.*`` metrics (and optionally every node's
+        full stack under its ``node<i>`` namespace)."""
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.register("cluster.events", self.counters)
+        registry.register(
+            "cluster.replication_lag_ns", self.replication_lag_ns
+        )
+        registry.register("cluster.failover_time_ns", self.failover_time_ns)
+        registry.register("cluster.faults", self.injector.counters)
+        registry.register_gauge(
+            "cluster.epoch", lambda: float(self.map.epoch)
+        )
+        registry.register_gauge(
+            "cluster.alive_nodes", lambda: float(self.alive_nodes)
+        )
+        registry.register_gauge(
+            "cluster.migrating_slots",
+            lambda: float(len(self.migrating_slots)),
+        )
+        if include_stacks:
+            for node in self.nodes:
+                node.stack.register_metrics(registry)
+        return registry

@@ -56,6 +56,38 @@ class TestDeterminism:
         assert first.digest == run_soak(config).digest
 
 
+class TestRobustnessReporting:
+    """Client retry/fast-fail counters ride in every report, next to
+    goodput, so retry-behaviour regressions are visible in the same JSON
+    the CI soak gates on."""
+
+    ROBUSTNESS_KEYS = {
+        "node_down_retries", "wrong_epoch_retries", "retry_give_ups",
+        "breaker_fast_fails", "breaker_opens", "budget_spent",
+        "budget_refused",
+    }
+
+    def test_plain_soak_reports_zeroed_counters(self):
+        report = run_soak(QUICK).as_dict()
+        assert set(report["robustness"]) == self.ROBUSTNESS_KEYS
+        assert all(value == 0 for value in report["robustness"].values())
+        assert report["cluster"] is None
+        # The counters sit in the same document as the goodput they
+        # contextualize.
+        assert "goodput" in report
+
+    def test_cluster_soak_reports_live_counters(self):
+        report = run_soak(
+            SoakConfig(
+                cluster_nodes=3, kill_node=True, num_keys=8,
+                ops_per_key=20, goodput_floor=0.3,
+            )
+        ).as_dict()
+        assert set(report["robustness"]) == self.ROBUSTNESS_KEYS
+        assert report["robustness"]["node_down_retries"] > 0
+        assert report["cluster"]["failovers"] == 1
+
+
 class TestInvariants:
     def test_clean_soak_passes_every_invariant(self):
         report = run_soak(QUICK)

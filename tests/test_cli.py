@@ -237,6 +237,57 @@ class TestSoak:
         assert code == 0
         assert json.loads(output)["faults_fired"] > 0
 
+    def test_kill_node_soak_fails_over_and_is_byte_identical(self):
+        import json
+
+        args = ("soak", "--nodes", "3", "--kill-node", "--seed", "7",
+                "--json", *self._FAST)
+        code_a, first = run_cli(*args)
+        code_b, second = run_cli(*args)
+        assert code_a == code_b == 0
+        assert first == second
+        report = json.loads(first)
+        assert report["ok"] is True
+        assert report["cluster"]["failovers"] == 1
+        assert report["cluster"]["epoch"] == 1
+        assert report["robustness"]["node_down_retries"] > 0
+
+
+class TestCluster:
+    _FAST = ("--nodes", "3", "--ops", "400", "--corpus", "128")
+
+    def test_run_reports_placement_and_replication(self):
+        code, output = run_cli("cluster", *self._FAST)
+        assert code == 0
+        assert "3/3 alive" in output
+        assert "replication records" in output
+
+    def test_kill_node_promotes_and_bumps_epoch(self):
+        import json
+
+        code, output = run_cli(
+            "cluster", *self._FAST, "--kill-node", "--json"
+        )
+        assert code == 0
+        stats = json.loads(output)
+        assert stats["alive_nodes"] == 2
+        assert stats["epoch"] == 1.0
+        assert stats["counters"]["failovers"] == 1
+        assert stats["completed"] == 400.0
+        assert stats["robustness"]["node_down_retries"] > 0
+
+    def test_snapshot_lints_clean(self, tmp_path):
+        from repro.obs import bench_history
+
+        path = tmp_path / "BENCH_cluster.json"
+        code, __ = run_cli(
+            "cluster", *self._FAST, "--snapshot", str(path)
+        )
+        assert code == 0
+        snapshot = bench_history.load_snapshot(str(path))
+        assert snapshot.extra["nodes"] == 3
+        assert snapshot.wall_clock_s is None
+
 
 class TestTrace:
     _FAST = ("--ops", "120", "--corpus", "100", "--memory-mib", "4")

@@ -1,0 +1,415 @@
+"""Fault-tolerant cluster mode: placement, replication, failover.
+
+The differential discipline mirrors the chaos soak: every invariant is
+checked against plain-dict bookkeeping, and the hard guarantees - zero
+lost acknowledged writes across a primary kill, read-your-writes across
+the epoch bump, byte-identical digests for seeded runs - are exercised
+end to end through the :class:`~repro.client.router.ClusterRouter`.
+"""
+
+import pytest
+
+from repro.chaos import SoakConfig, run_soak
+from repro.client.router import ClusterRouter
+from repro.core.config import KVDirectConfig
+from repro.core.operations import KVOperation
+from repro.errors import (
+    ConfigurationError,
+    NodeDown,
+    RetryExhausted,
+    WrongEpoch,
+)
+from repro.faults import FaultPlan
+from repro.multi import Cluster, ClusterMap, Placement
+from repro.obs import MetricsRegistry
+from repro.sim import Simulator
+
+
+def _cluster(nodes=3, slots=8, **kwargs):
+    sim = Simulator()
+    cluster = Cluster(
+        sim, num_nodes=nodes, num_slots=slots,
+        config=KVDirectConfig(memory_size=2 << 20), **kwargs
+    )
+    return sim, cluster
+
+
+def _perform(sim, router, op, results):
+    def runner():
+        results.append((yield from router.perform(op)))
+
+    return sim.process(runner())
+
+
+class TestClusterMap:
+    def test_round_robin_layout(self):
+        cmap = ClusterMap(num_slots=8, num_nodes=3)
+        for slot in range(8):
+            assert cmap.primary(slot) == slot % 3
+            assert cmap.backup(slot) == (slot + 1) % 3
+            assert cmap.primary(slot) != cmap.backup(slot)
+
+    def test_single_node_runs_unreplicated(self):
+        cmap = ClusterMap(num_slots=4, num_nodes=1)
+        for slot in range(4):
+            assert cmap.primary(slot) == 0
+            assert cmap.backup(slot) is None
+
+    def test_bump_advances_epoch(self):
+        cmap = ClusterMap(num_slots=2, num_nodes=2)
+        assert cmap.epoch == 0
+        assert cmap.bump() == 1
+        assert cmap.epoch == 1
+
+    def test_owned_and_backed_partition_the_slots(self):
+        cmap = ClusterMap(num_slots=9, num_nodes=3)
+        owned = [cmap.slots_owned(n) for n in range(3)]
+        assert sorted(sum(owned, [])) == list(range(9))
+        for node in range(3):
+            assert cmap.slots_backed(node) == [
+                s for s in range(9) if cmap.backup(s) == node
+            ]
+
+    def test_slot_of_is_stable_and_in_range(self):
+        cmap = ClusterMap(num_slots=8, num_nodes=3)
+        for i in range(200):
+            key = b"key%06d" % i
+            slot = cmap.slot_of(key)
+            assert 0 <= slot < 8
+            assert slot == cmap.slot_of(key)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMap(num_slots=0, num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            ClusterMap(num_slots=4, num_nodes=0)
+
+
+class TestKillSemantics:
+    def test_dead_node_nacks_without_side_effects(self):
+        sim, cluster = _cluster()
+        node = cluster.nodes[0]
+        node.die()
+        before = dict(node.store.items())
+        accepted = node.accepted
+        event = node.submit(KVOperation.put(b"k", b"v", seq=0))
+        assert event.triggered and not event.ok
+        assert isinstance(event.exception, NodeDown)
+        assert event.exception.reason == "killed"
+        assert event.exception.node == 0
+        assert dict(node.store.items()) == before
+        assert node.accepted == accepted
+
+    def test_kill_lands_in_the_fault_log(self):
+        sim, cluster = _cluster()
+        assert cluster.injector.fired == 0
+        cluster.nodes[1].die(reason="test")
+        assert cluster.injector.fired == 1
+        digest_after_kill = cluster.injector.schedule_digest()
+        sim2, cluster2 = _cluster()
+        assert cluster2.injector.schedule_digest() != digest_after_kill
+
+    def test_kill_after_accepts_counts_accepted_ops(self):
+        sim, cluster = _cluster(nodes=2, slots=2)
+        cluster.kill_after_accepts(0, 1)
+        node = cluster.nodes[0]
+        slot = next(
+            s for s in range(2) if cluster.map.primary(s) == 0
+        )
+        key = next(
+            b"key%06d" % i for i in range(100)
+            if cluster.map.slot_of(b"key%06d" % i) == slot
+        )
+        first = node.submit(KVOperation.put(key, b"v", seq=0))
+        sim.run()
+        assert first.ok
+        second = node.submit(KVOperation.put(key, b"w", seq=1))
+        assert not second.ok
+        assert isinstance(second.exception, NodeDown)
+        assert not node.alive
+
+    def test_stalled_node_recovers(self):
+        sim, cluster = _cluster(
+            nodes=2, slots=2,
+        )
+        node = cluster.nodes[0]
+        node.stalled_until = 1_000.0
+        event = node.submit(KVOperation.get(b"k", seq=0))
+        assert isinstance(event.exception, NodeDown)
+        assert event.exception.reason == "stalled"
+        sim.run(until=2_000.0)
+        assert node.alive
+
+    def test_wrong_epoch_nacks_before_side_effects(self):
+        sim, cluster = _cluster()
+        slot0_key = next(
+            b"key%06d" % i for i in range(100)
+            if cluster.map.slot_of(b"key%06d" % i) == 0
+        )
+        node = cluster.nodes[cluster.map.primary(0)]
+        op = KVOperation.put(slot0_key, b"v", seq=0)
+        stale = KVOperation.put(
+            slot0_key, b"v", seq=0
+        )
+        object.__setattr__(stale, "epoch", 5)
+        event = node.submit(stale)
+        assert not event.ok
+        assert isinstance(event.exception, WrongEpoch)
+        assert event.exception.expected == 0
+        assert event.exception.got == 5
+        assert node.store.get(slot0_key) is None
+
+
+class TestReplication:
+    def test_writes_converge_to_the_backup(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        ops = [
+            KVOperation.put(b"key%06d" % i, b"v%d" % i, seq=i)
+            for i in range(64)
+        ]
+        stats = router.run(ops)
+        assert stats["completed"] == 64
+        assert cluster.replication_divergences() == []
+        assert cluster.counters.get("replication_applies") > 0
+
+    def test_deletes_replicate_too(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        key = b"key000000"
+        ops = [
+            KVOperation.put(key, b"v", seq=0),
+            KVOperation.delete(key, seq=1),
+        ]
+        stats = router.run(ops, concurrency=1)
+        assert stats["completed"] == 2
+        assert cluster.replication_divergences() == []
+        backup = cluster.map.backup(cluster.map.slot_of(key))
+        assert cluster.nodes[backup].store.get(key) is None
+
+    def test_replication_lag_is_recorded(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        router.run([KVOperation.put(b"k", b"v", seq=0)])
+        assert cluster.replication_lag_ns.count > 0
+        assert cluster.replication_lag_ns.mean() > 0
+
+
+class TestFailover:
+    def test_kill_primary_preserves_read_your_writes(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        key = b"key000000"
+        slot = cluster.map.slot_of(key)
+        primary = cluster.map.primary(slot)
+        results = []
+        write = KVOperation.put(key, b"acked-value", seq=0)
+        _perform(sim, router, write, results)
+        sim.run()
+        assert results and results[0].ok
+        # The write was acknowledged; now the primary dies.
+        cluster.nodes[primary].die()
+        read = KVOperation.get(key, seq=1)
+        _perform(sim, router, read, results)
+        sim.run()
+        sim.run(sim.process(cluster.quiesce()))
+        # The read NACKed, triggered failover, retried against the
+        # promoted backup - and saw the acknowledged write.
+        assert results[1].ok
+        assert results[1].value == b"acked-value"
+        assert cluster.map.epoch == 1
+        assert cluster.map.primary(slot) != primary
+        assert cluster.counters.get("failovers") == 1
+        assert cluster.failover_time_ns.count == 1
+        assert router.counters.get("node_down_retries") >= 1
+
+    def test_failover_reestablishes_replication_factor(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        ops = [
+            KVOperation.put(b"key%06d" % i, b"v%d" % i, seq=i)
+            for i in range(64)
+        ]
+        router.run(ops)
+        cluster.nodes[0].die()
+        cluster.notice_node_down(0)
+        sim.run(sim.process(cluster.quiesce()))
+        # Every slot again has an alive primary and an alive backup.
+        for slot, placement in enumerate(cluster.map.placements):
+            assert cluster.nodes[placement.primary].alive, slot
+            assert placement.backup is not None, slot
+            assert cluster.nodes[placement.backup].alive, slot
+            assert placement.backup != placement.primary, slot
+        assert cluster.replication_divergences() == []
+        assert cluster.migrating_slots == set()
+        assert cluster.counters.get("migrated_keys") > 0
+
+    def test_two_node_cluster_survives_one_kill(self):
+        sim, cluster = _cluster(nodes=2)
+        router = ClusterRouter(sim, cluster)
+        ops = [
+            KVOperation.put(b"key%06d" % i, b"v", seq=i) for i in range(32)
+        ]
+        router.run(ops)
+        cluster.nodes[0].die()
+        cluster.notice_node_down(0)
+        sim.run(sim.process(cluster.quiesce()))
+        # No second node remains to back up: slots run unreplicated but
+        # stay available at the survivor.
+        for placement in cluster.map.placements:
+            assert placement.primary == 1
+            assert placement.backup is None
+        results = []
+        _perform(sim, router, KVOperation.get(b"key%06d" % 0, seq=99),
+                 results)
+        sim.run()
+        assert results[0].ok
+
+    def test_notice_node_down_is_idempotent(self):
+        sim, cluster = _cluster()
+        cluster.nodes[0].die()
+        cluster.notice_node_down(0)
+        cluster.notice_node_down(0)
+        sim.run(sim.process(cluster.quiesce()))
+        assert cluster.counters.get("failovers") == 1
+        # A live node is never failed over.
+        cluster.notice_node_down(1)
+        sim.run(sim.process(cluster.quiesce()))
+        assert cluster.counters.get("failovers") == 1
+
+
+class TestWrongEpochRace:
+    def test_epoch_bump_in_flight_forces_reroute(self):
+        """An epoch bump inside the route delay window NACKs the stale
+        stamp and the router re-reads the map and retries."""
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster, route_delay_ns=100.0)
+        results = []
+
+        def bumper():
+            # Land strictly inside the op's [stamp, arrival) window.
+            yield sim.timeout(50.0)
+            cluster.map.bump()
+
+        sim.process(bumper())
+        _perform(sim, router, KVOperation.put(b"k", b"v", seq=0), results)
+        sim.run()
+        assert results and results[0].ok
+        assert router.counters.get("wrong_epoch_retries") >= 1
+
+    def test_retry_limit_bounds_epoch_churn(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster, retry_limit=0,
+                               route_delay_ns=100.0)
+
+        def bumper():
+            yield sim.timeout(50.0)
+            cluster.map.bump()
+
+        sim.process(bumper())
+        failures = []
+
+        def runner():
+            try:
+                yield from router.perform(KVOperation.put(b"k", b"v", seq=0))
+            except RetryExhausted as exc:
+                failures.append(exc)
+
+        sim.process(runner())
+        sim.run()
+        assert failures
+        assert router.counters.get("give_ups") == 1
+
+
+class TestClusterSoak:
+    KILL = SoakConfig(
+        cluster_nodes=3, kill_node=True, num_keys=10, ops_per_key=24,
+        goodput_floor=0.3,
+    )
+
+    def test_kill_node_soak_is_deterministic(self):
+        first = run_soak(self.KILL)
+        second = run_soak(self.KILL)
+        assert first.digest == second.digest
+        assert first.as_dict() == second.as_dict()
+
+    def test_kill_node_soak_loses_no_acked_writes(self):
+        report = run_soak(self.KILL)
+        assert report.check() == []
+        assert report.final_state_matches
+        assert report.divergences == []
+        assert report.cluster["failovers"] == 1
+        assert report.cluster["epoch"] == 1
+        assert report.cluster["alive_nodes"] == 2
+        assert report.robustness["node_down_retries"] > 0
+        assert report.robustness["retry_give_ups"] == 0
+
+    def test_kill_changes_the_digest(self):
+        calm = run_soak(self.KILL.with_overrides(kill_node=False))
+        killed = run_soak(self.KILL)
+        assert calm.digest != killed.digest
+        assert calm.cluster["failovers"] == 0
+        assert calm.cluster["epoch"] == 0
+
+    def test_cluster_soak_with_node_fault_plan(self):
+        plan = FaultPlan(node_stall_prob=0.02, node_stall_ns=500.0)
+        report = run_soak(
+            SoakConfig(
+                cluster_nodes=2, num_keys=8, ops_per_key=20,
+                fault_plan=plan, goodput_floor=0.3,
+            )
+        )
+        assert report.check() == []
+        assert report.digest == run_soak(
+            SoakConfig(
+                cluster_nodes=2, num_keys=8, ops_per_key=20,
+                fault_plan=plan, goodput_floor=0.3,
+            )
+        ).digest
+
+    def test_cluster_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(cluster_nodes=2, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(kill_node=True, cluster_nodes=1)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(cluster_nodes=1, cluster_slots=0)
+
+
+class TestClusterMetrics:
+    def test_registered_names_and_values(self):
+        sim, cluster = _cluster()
+        router = ClusterRouter(sim, cluster)
+        registry = MetricsRegistry()
+        cluster.register_metrics(registry)
+        router.register_metrics(registry)
+        router.run([
+            KVOperation.put(b"key%06d" % i, b"v", seq=i) for i in range(16)
+        ])
+        exported = registry.collect()
+        assert exported["cluster.epoch"] == 0.0
+        assert exported["cluster.alive_nodes"] == 3.0
+        assert exported["cluster.migrating_slots"] == 0.0
+        assert exported["cluster.events.replication_records"] > 0
+        assert exported["cluster.replication_lag_ns.count"] > 0
+        assert exported["cluster.router_latency_ns.count"] == 16
+
+    def test_soak_registry_covers_cluster_mode(self):
+        registry = MetricsRegistry()
+        run_soak(
+            SoakConfig(cluster_nodes=2, num_keys=6, ops_per_key=10,
+                       goodput_floor=0.3),
+            registry=registry,
+        )
+        exported = registry.collect()
+        assert "cluster.epoch" in exported
+        assert "cluster.router.node_down_retries" in str(
+            sorted(exported)
+        ) or any(name.startswith("cluster.router") for name in exported)
+
+
+class TestPlacement:
+    def test_placement_is_frozen(self):
+        placement = Placement(primary=0, backup=1)
+        with pytest.raises(AttributeError):
+            placement.primary = 2

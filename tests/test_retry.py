@@ -72,6 +72,43 @@ class TestBackoffPolicy:
         with pytest.raises(ConfigurationError):
             BackoffPolicy(1000.0).delay(0)
 
+    def test_loss_and_busy_sequences_each_replay_under_one_seed(self):
+        """Both retry-kind streams are independently deterministic: for a
+        fixed seed each stream replays its own jitter sequence exactly,
+        and draining one stream never perturbs the other."""
+        first = {}
+        for kind in ("loss", "busy"):
+            policy = BackoffPolicy(1000.0, jitter=0.5, seed=9, stream=kind)
+            first[kind] = [policy.delay(n) for n in range(1, 10)]
+        # Replay with the draw order inverted across streams: interleaved
+        # policies over the same seed must reproduce both sequences.
+        loss = BackoffPolicy(1000.0, jitter=0.5, seed=9, stream="loss")
+        busy = BackoffPolicy(1000.0, jitter=0.5, seed=9, stream="busy")
+        replay = {"loss": [], "busy": []}
+        for n in range(1, 10):
+            replay["busy"].append(busy.delay(n))
+            replay["loss"].append(loss.delay(n))
+        assert replay == first
+
+    def test_jitter_sequence_survives_a_budget_refill(self):
+        """The backoff RNG is private to the policy: spending a
+        RetryBudget dry and refilling it between draws must leave the
+        jitter sequence byte-identical to an uninterrupted one."""
+        plain = BackoffPolicy(1000.0, jitter=0.5, seed=4, stream="loss")
+        expected = [plain.delay(n) for n in range(1, 8)]
+
+        policy = BackoffPolicy(1000.0, jitter=0.5, seed=4, stream="loss")
+        budget = RetryBudget(capacity=2.0, refill_per_success=1.0)
+        observed = []
+        for attempt in range(1, 8):
+            if not budget.try_spend():
+                # Refill mid-sequence - the interleaving under test.
+                budget.on_success()
+                assert budget.try_spend()
+            observed.append(policy.delay(attempt))
+        assert observed == expected
+        assert budget.spent == 7
+
 
 class TestRetryBudget:
     def test_spend_until_empty_then_refuse(self):

@@ -132,6 +132,67 @@ class TestShardedDifferentialSoak:
         assert not any(n.startswith("processor") for n in names)
 
 
+class TestShardRouterEdgeCases:
+    """Typed configuration errors instead of silent misrouting."""
+
+    def _stacks(self, n):
+        from repro.multi import ServerStack
+
+        sim = Simulator()
+        return sim, [
+            ServerStack(sim, name=f"nic{i}") for i in range(n)
+        ]
+
+    def test_zero_stacks_is_a_typed_error(self):
+        from repro.client import ShardRouter
+        from repro.errors import ConfigurationError
+
+        sim, __ = self._stacks(0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(sim, [])
+
+    def test_empty_op_stream_is_a_typed_error(self):
+        from repro.client import ShardRouter
+        from repro.errors import ConfigurationError
+
+        sim, stacks = self._stacks(2)
+        router = ShardRouter(sim, stacks)
+        with pytest.raises(ConfigurationError):
+            router.run([])
+
+    def test_single_stack_routes_everything_to_shard_zero(self):
+        from repro.client import ShardRouter
+        from repro.core.operations import KVOperation
+
+        sim, stacks = self._stacks(1)
+        stacks[0].store.put(b"key000000", b"v" * 5)
+        router = ShardRouter(sim, stacks)
+        ops = [KVOperation.get(b"key000000", seq=i) for i in range(16)]
+        assert all(router.shard_of(op.key) == 0 for op in ops)
+        stats = router.run(ops)
+        assert stats.shards == 1
+        assert stats.operations == 16
+        assert len(stats.per_shard) == 1
+
+    def test_mutated_stacks_are_refused_not_misrouted(self):
+        """Growing router.stacks after construction would make shard_of
+        hash keys to clients that do not exist; both lookups and runs
+        must fail loudly."""
+        from repro.client import ShardRouter
+        from repro.core.operations import KVOperation
+        from repro.errors import ConfigurationError
+
+        sim, stacks = self._stacks(2)
+        router = ShardRouter(sim, stacks)
+        sim2, extra = self._stacks(1)
+        router.stacks.append(extra[0])
+        with pytest.raises(ConfigurationError):
+            for i in range(64):
+                router.shard_of(b"key%06d" % i)
+        with pytest.raises(ConfigurationError):
+            router.run([KVOperation.get(b"key000000", seq=0)])
+
+
 class TestServerStackComposition:
     def test_single_stack_matches_plain_processor_metrics(self):
         """A 1-stack server with prefix '' registers the exact single-NIC
