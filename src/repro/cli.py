@@ -10,6 +10,8 @@
     python -m repro metrics --ops 2000 --format prom
     python -m repro trace --seed 7 --ops 200
     python -m repro profile --seed 7 --ops 2000
+    python -m repro ycsb -w E --ops 2000
+    python -m repro range --seed 7 --scans 64 --shards 4
     python -m repro bench run --name small-ycsb
     python -m repro bench diff BENCH_a.json BENCH_b.json --tolerance 0.15
 """
@@ -86,10 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-nic-dram", action="store_true", help="disable the DRAM cache"
     )
     ycsb.add_argument(
-        "--standard",
-        choices=("A", "B", "C", "D", "F"),
+        "-w", "--standard",
+        choices=("A", "B", "C", "D", "E", "F"),
         help="use a standard YCSB core workload instead of put-ratio/"
-             "distribution",
+             "distribution (E enables the ordered index for its scans)",
     )
     ycsb.add_argument(
         "--export-metrics", metavar="PATH",
@@ -154,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="terminal table, hierarchical JSON, or flamegraph folded "
              "stacks (json/folded are byte-identical for a fixed seed)",
     )
+    profile.add_argument(
+        "--workload", choices=("ycsb", "ycsb-e"), default="ycsb",
+        help="ycsb = the seeded GET/PUT mix; ycsb-e = standard YCSB-E "
+             "(95%% RANGE / 5%% insert, ordered index enabled) with "
+             "per-RANGE attribution rows",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -173,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--memory-mib", type=int, default=8)
     bench_run.add_argument("--concurrency", type=int, default=128)
     bench_run.add_argument(
+        "--workload", choices=("ycsb", "ycsb-e"), default="ycsb",
+        help="ycsb = the seeded GET/PUT mix; ycsb-e = standard YCSB-E "
+             "(ordered index enabled, RANGE-dominated)",
+    )
+    bench_run.add_argument(
         "--output", metavar="PATH",
         help="snapshot path (default: BENCH_<name>.json)",
     )
@@ -189,6 +202,31 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument(
         "--json", action="store_true", help="emit the diff as JSON"
     )
+
+    range_cmd = sub.add_parser(
+        "range",
+        help="ordered RANGE/SCAN end-to-end through checksummed clients at "
+             "N shards; deterministic JSON with a merged-results digest",
+    )
+    range_cmd.add_argument("--seed", type=int, default=0)
+    range_cmd.add_argument(
+        "--scans", type=int, default=64,
+        help="number of RANGE/SCAN operations (every 4th is a keys-only "
+             "SCAN)",
+    )
+    range_cmd.add_argument("--corpus", type=int, default=512)
+    range_cmd.add_argument("--kv-size", type=int, default=13)
+    range_cmd.add_argument("--memory-mib", type=int, default=8)
+    range_cmd.add_argument(
+        "--max-count", type=int, default=16,
+        help="scan lengths are uniform in [1, max-count]",
+    )
+    range_cmd.add_argument(
+        "--shards", type=int, default=1,
+        help="replicate each scan to N shards and k-way merge the partial "
+             "results (the digest is shard-count invariant)",
+    )
+    range_cmd.add_argument("--batch-size", type=int, default=8)
 
     atomics = sub.add_parser(
         "atomics", help="single/multi-key atomics (Figure 13a)"
@@ -393,6 +431,7 @@ def _cmd_ycsb(args, out) -> int:
         memory_size=args.memory_mib << 20,
         out_of_order=not args.no_ooo,
         use_nic_dram=not args.no_nic_dram,
+        ordered_index=args.standard == "E",
     )
     keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size)
     if args.standard:
@@ -441,11 +480,15 @@ def _seeded_client_run(args, tracer=None, profiler=None):
     Shared by ``repro metrics``, ``repro trace`` and ``repro profile``:
     everything (store config, corpus, workload, latency distributions) is
     derived from ``args.seed``, so two invocations with identical
-    arguments replay the identical simulation.
+    arguments replay the identical simulation.  ``args.workload``
+    (``repro profile`` only) switches the op stream to standard YCSB-E
+    and enables the ordered index the scans need.
     """
+    workload = getattr(args, "workload", "ycsb")
     sim = Simulator()
     store = KVDirectStore.create(
-        memory_size=args.memory_mib << 20, seed=args.seed
+        memory_size=args.memory_mib << 20, seed=args.seed,
+        ordered_index=workload == "ycsb-e",
     )
     keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
                         seed=args.seed)
@@ -454,9 +497,14 @@ def _seeded_client_run(args, tracer=None, profiler=None):
     store.reset_measurements()
     processor = KVProcessor(sim, store, tracer=tracer, profiler=profiler)
     client = KVClient(sim, processor, batch_size=16)
-    generator = YCSBGenerator(
-        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
-    )
+    if workload == "ycsb-e":
+        from repro.workloads.ycsb_standard import StandardYCSB
+
+        generator = StandardYCSB(keyspace, "E", seed=args.seed)
+    else:
+        generator = YCSBGenerator(
+            keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+        )
     stats = client.run(generator.operations(args.ops))
     return processor, client, stats
 
@@ -497,12 +545,14 @@ def _profiled_run(args):
     from repro.core.config import KVDirectConfig
     from repro.multi import MultiNICServer
 
+    workload = getattr(args, "workload", "ycsb")
     sim = Simulator()
     server = MultiNICServer(
         sim,
         nic_count=args.shards,
         config=KVDirectConfig(
-            memory_size=args.memory_mib << 20, seed=args.seed
+            memory_size=args.memory_mib << 20, seed=args.seed,
+            ordered_index=workload == "ycsb-e",
         ),
         profile=True,
     )
@@ -512,9 +562,14 @@ def _profiled_run(args):
         server.put_direct(key, value)
     for stack in server.stacks:
         stack.store.reset_measurements()
-    generator = YCSBGenerator(
-        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
-    )
+    if workload == "ycsb-e":
+        from repro.workloads.ycsb_standard import StandardYCSB
+
+        generator = StandardYCSB(keyspace, "E", seed=args.seed)
+    else:
+        generator = YCSBGenerator(
+            keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+        )
     stats = server.run_clients(generator.operations(args.ops),
                                batch_size=16)
     allocators = [stack.store.allocator for stack in server.stacks]
@@ -545,7 +600,8 @@ def _cmd_profile(args, out) -> int:
     profilers, allocators, stats = _profiled_run(args)
     checked, exact = _latency_identity(profilers)
     report = audit(profilers, allocators=allocators,
-                   tolerance=args.tolerance)
+                   tolerance=args.tolerance,
+                   ordered=getattr(args, "workload", "ycsb") == "ycsb-e")
     ok = report.passed and checked == exact
 
     if args.format == "folded":
@@ -642,7 +698,8 @@ def _cmd_bench(args, out) -> int:
 
     sim = Simulator()
     store = KVDirectStore.create(
-        memory_size=args.memory_mib << 20, seed=args.seed
+        memory_size=args.memory_mib << 20, seed=args.seed,
+        ordered_index=args.workload == "ycsb-e",
     )
     keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
                         seed=args.seed)
@@ -651,23 +708,33 @@ def _cmd_bench(args, out) -> int:
     store.reset_measurements()
     profiler = StageProfiler()
     processor = KVProcessor(sim, store, profiler=profiler)
-    generator = YCSBGenerator(
-        keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
-    )
+    if args.workload == "ycsb-e":
+        from repro.workloads.ycsb_standard import StandardYCSB
+
+        generator = StandardYCSB(keyspace, "E", seed=args.seed)
+    else:
+        generator = YCSBGenerator(
+            keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+        )
     stats = run_closed_loop(
         processor, generator.operations(args.ops),
         concurrency=args.concurrency,
     )
+    extra = {
+        "seed": args.seed,
+        "corpus": args.corpus,
+        "kv_size": args.kv_size,
+        "put_ratio": args.put_ratio,
+        "accesses_per_get": profiler.accesses_per_op("get"),
+        "accesses_per_put": profiler.accesses_per_op("put"),
+    }
+    if args.workload == "ycsb-e":
+        # Only the YCSB-E bench carries the ordered-op rows, so existing
+        # snapshots (and their diffs) keep their exact key set.
+        extra["workload"] = "ycsb-e"
+        extra["accesses_per_range"] = profiler.accesses_per_op("range")
     snapshot = bench_history.snapshot_from_run(
-        args.name, processor, stats,
-        extra={
-            "seed": args.seed,
-            "corpus": args.corpus,
-            "kv_size": args.kv_size,
-            "put_ratio": args.put_ratio,
-            "accesses_per_get": profiler.accesses_per_op("get"),
-            "accesses_per_put": profiler.accesses_per_op("put"),
-        },
+        args.name, processor, stats, extra=extra,
     )
     path = args.output or f"BENCH_{args.name}.json"
     snapshot.save(path)
@@ -685,6 +752,74 @@ def _cmd_bench(args, out) -> int:
     print(format_table("Bench snapshot", ["metric", "value"], rows),
           file=out)
     return 0
+
+
+def _cmd_range(args, out) -> int:
+    """Ordered scans end-to-end, with a shard-count-invariant digest.
+
+    Drives a seeded RANGE/SCAN stream through checksummed batched
+    clients against an ordered-index server at ``--shards`` shards: each
+    scan is replicated to every shard and the partial payloads are
+    k-way merged by key.  The report is canonical JSON whose
+    ``results_digest`` hashes every merged payload in seq order - the
+    same corpus scanned at 1 and at 4 shards must produce the same
+    digest (the golden-trace CI job compares exactly that).
+    """
+    import hashlib
+    import random
+
+    from repro.core.config import KVDirectConfig
+    from repro.core.operations import decode_scan_payload
+    from repro.multi import MultiNICServer
+
+    sim = Simulator()
+    server = MultiNICServer(
+        sim,
+        nic_count=args.shards,
+        config=KVDirectConfig(
+            memory_size=args.memory_mib << 20, seed=args.seed,
+            ordered_index=True,
+        ),
+    )
+    keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                        seed=args.seed)
+    for key, value in keyspace.pairs():
+        server.put_direct(key, value)
+    rng = random.Random(args.seed ^ 0x5CA)
+    ops = []
+    for seq in range(args.scans):
+        start = keyspace.key(rng.randrange(args.corpus))
+        count = rng.randint(1, args.max_count)
+        if seq % 4 == 3:
+            ops.append(KVOperation.scan(start, count, seq=seq))
+        else:
+            ops.append(KVOperation.range(start, count, seq=seq))
+    router = server.router(batch_size=args.batch_size, checksum=True)
+    stats = router.run(ops)
+    merged = router.scan_results(ops)
+    digest = hashlib.sha256()
+    entries = 0
+    for seq in sorted(merged):
+        payload = merged[seq]
+        digest.update(seq.to_bytes(8, "big"))
+        digest.update(payload)
+        entries += len(decode_scan_payload(
+            payload, with_values=ops[seq].op.name == "RANGE"
+        ))
+    report = {
+        "schema": 1,
+        "seed": args.seed,
+        "shards": args.shards,
+        "corpus": args.corpus,
+        "scans": args.scans,
+        "merged": len(merged),
+        "entries": entries,
+        "elapsed_ns": stats.elapsed_ns,
+        "throughput_mops": stats.throughput_mops,
+        "results_digest": digest.hexdigest(),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    return 0 if len(merged) == args.scans else 1
 
 
 def _cmd_atomics(args, out) -> int:
@@ -1059,6 +1194,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "range": _cmd_range,
     "bench": _cmd_bench,
     "atomics": _cmd_atomics,
     "pcie": _cmd_pcie,

@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.client.client import ClientStats, KVClient
 from repro.client.robust import BackoffPolicy, CircuitBreaker, RetryBudget
 from repro.core.hashing import shard_of
-from repro.core.operations import KVOperation
+from repro.core.operations import (
+    KVOperation,
+    KVResult,
+    OpType,
+    merge_scan_payloads,
+)
 from repro.errors import (
     ConfigurationError,
     KVDirectError,
@@ -99,11 +104,48 @@ class ShardRouter:
         self, ops: Sequence[KVOperation]
     ) -> List[List[KVOperation]]:
         """Split an op stream into per-shard substreams, order-preserving
-        within each shard."""
+        within each shard.
+
+        Point operations go to the shard owning their key.  RANGE/SCAN
+        operations are replicated into *every* substream: hash sharding
+        scatters adjacent keys across all shards, so an ordered scan has
+        no single owner and each shard must answer for its slice.  The
+        per-shard partial payloads are merged by :meth:`scan_results`.
+        """
         parts: List[List[KVOperation]] = [[] for __ in range(self.shards)]
         for op in ops:
-            parts[self.shard_of(op.key)].append(op)
+            if op.carries_count:
+                for part in parts:
+                    part.append(op)
+            else:
+                parts[self.shard_of(op.key)].append(op)
         return parts
+
+    def scan_results(
+        self, ops: Sequence[KVOperation]
+    ) -> Dict[int, bytes]:
+        """Merged ``{seq: payload}`` for every scan in ``ops`` that
+        succeeded on all shards.
+
+        Reads each shard client's recorded response for the scan's seq
+        and k-way merges the partial payloads by key, truncated to the
+        op's count.  Shards are always visited in shard-index order, so
+        the merged bytes are independent of simulated completion order
+        (seed-stable across runs and shard counts).
+        """
+        merged: Dict[int, bytes] = {}
+        for op in ops:
+            if not op.carries_count or op.seq < 0:
+                continue
+            partials = [client.responses.get(op.seq) for client in self.clients]
+            if any(p is None or not p.ok or p.value is None for p in partials):
+                continue  # a shard failed or never answered this scan
+            merged[op.seq] = merge_scan_payloads(
+                [p.value for p in partials],
+                op.count,
+                with_values=op.op is OpType.RANGE,
+            )
+        return merged
 
     def run(self, ops: Sequence[KVOperation]) -> RouterStats:
         """Route and send all operations; blocks (simulated) until every
@@ -239,6 +281,79 @@ class ClusterRouter:
                 )
             yield sim.timeout(self.backoff.delay(attempt))
 
+    def perform_scan(
+        self, op: KVOperation, deadline_ns: Optional[float] = None
+    ):
+        """Generator: fan one RANGE/SCAN out to every primary and merge.
+
+        Slot placement scatters adjacent keys across the cluster, so an
+        ordered scan has no single owner: each attempt reads the current
+        map, submits the epoch-stamped scan to every *distinct* primary
+        concurrently (in node-index order, for determinism), and k-way
+        merges the partial payloads by key, truncated to ``op.count``.
+        Retryable NACKs (:class:`~repro.errors.NodeDown`,
+        :class:`~repro.errors.WrongEpoch`) restart the whole fan-out
+        against the re-read map - partial payloads from a failed attempt
+        are discarded, so a merged result always reflects one epoch.
+        """
+        if not op.carries_count:
+            raise ConfigurationError(
+                f"perform_scan needs a RANGE/SCAN op, got {op.op.name}"
+            )
+        sim = self.sim
+        cluster = self.cluster
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                self.counters.add("breaker_fast_fails")
+                yield sim.timeout(max(self.breaker.wait_ns(), 1.0))
+                continue
+            primaries = sorted({
+                cluster.map.primary(slot)
+                for slot in range(cluster.map.num_slots)
+            })
+            stamped = replace(op, epoch=cluster.map.epoch)
+            yield sim.timeout(self.route_delay_ns)
+            events = [
+                cluster.nodes[node].submit(stamped, deadline_ns=deadline_ns)
+                for node in primaries
+            ]
+            try:
+                payloads = []
+                for event in events:
+                    result = yield event
+                    payloads.append(result.value)
+            except NodeDown as exc:
+                if exc.reason == "killed":
+                    cluster.notice_node_down(exc.node)
+                self.counters.add("node_down_retries")
+            except WrongEpoch:
+                self.counters.add("wrong_epoch_retries")
+            else:
+                if self.breaker is not None:
+                    self.breaker.record(True)
+                if self.budget is not None:
+                    self.budget.on_success()
+                self.counters.add("scan_fanouts")
+                merged = merge_scan_payloads(
+                    payloads, op.count, with_values=op.op is OpType.RANGE
+                )
+                return KVResult(op.op, ok=True, value=merged, seq=op.seq)
+            if self.breaker is not None:
+                self.breaker.record(False)
+            attempt += 1
+            if attempt > self.retry_limit:
+                self.counters.add("give_ups")
+                raise RetryExhausted(
+                    f"{op.op.name} from {op.key!r} NACKed {attempt} times"
+                )
+            if self.budget is not None and not self.budget.try_spend():
+                self.counters.add("give_ups")
+                raise RetryExhausted(
+                    f"{op.op.name} from {op.key!r}: retry budget exhausted"
+                )
+            yield sim.timeout(self.backoff.delay(attempt))
+
     def run(self, ops: Sequence[KVOperation], concurrency: int = 64) -> dict:
         """Closed-loop run: ``concurrency`` workers drain the op stream
         through :meth:`perform`, then the cluster quiesces (channels
@@ -256,7 +371,10 @@ class ClusterRouter:
             for op in stream:
                 issued = sim.now
                 try:
-                    yield from self.perform(op)
+                    if op.carries_count:
+                        yield from self.perform_scan(op)
+                    else:
+                        yield from self.perform(op)
                 except KVDirectError:
                     outcomes["failed"] += 1
                 else:

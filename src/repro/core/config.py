@@ -63,6 +63,13 @@ class KVDirectConfig:
     #: Out-of-order execution on/off (Figure 13's ablation).
     out_of_order: bool = True
 
+    #: Maintain an ordered index beside the hash table, enabling the
+    #: RANGE/SCAN operations (see :mod:`repro.core.ordered`).  Off by
+    #: default: the hash-only memory path is byte-identical to the
+    #: pre-index-refactor behaviour, and PUT/DELETE pay no ordered
+    #: maintenance accesses.
+    ordered_index: bool = False
+
     #: DRAM load dispatch / caching on/off (Figure 14's ablation).
     use_nic_dram: bool = True
 

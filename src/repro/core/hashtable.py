@@ -27,10 +27,15 @@ from repro.core.hashindex import (
     inline_slots_needed,
 )
 from repro.core.hashing import bucket_index, fnv1a64, secondary_hash
+from repro.core.index import Index
 from repro.core.slab import SlabAllocator
 from repro.core.slab_host import class_for_size, class_size
 from repro.dram.host import MemoryImage
-from repro.errors import ConfigurationError, KeyTooLargeError
+from repro.errors import (
+    ConfigurationError,
+    KeyTooLargeError,
+    UnsupportedOperation,
+)
 from repro.sim.stats import Counter, RunningStats
 
 #: Non-inline record header: key length (u8) + value length (u16).
@@ -58,8 +63,16 @@ class OpCost:
         return self.reads + self.writes
 
 
-class HashTable:
-    """The KV-Direct hash table over a byte-addressable memory image."""
+class HashTable(Index):
+    """The KV-Direct hash table over a byte-addressable memory image.
+
+    Implements the :class:`~repro.core.index.Index` contract for point
+    operations; :meth:`scan` raises
+    :class:`~repro.errors.UnsupportedOperation` because a chained hash
+    table keeps no key order (pair it with an
+    :class:`~repro.core.ordered.OrderedIndex` via
+    :class:`~repro.core.index.CompositeIndex` for RANGE/SCAN).
+    """
 
     def __init__(
         self,
@@ -138,6 +151,33 @@ class HashTable:
 
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None
+
+    # -- Index interface ------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        return self.get(key)
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        return self.put(key, value)
+
+    # delete() above already satisfies the interface.
+
+    def scan(self, start: bytes, count: int, with_values: bool = True):
+        raise UnsupportedOperation(
+            "the chained hash table keeps no key order; RANGE/SCAN need "
+            "an ordered index (config.ordered_index)"
+        )
+
+    def probe(self, key: bytes) -> Optional[bytes]:
+        """Lookup without per-op statistics, for index-internal reads.
+
+        Scans fetch values through this so their bucket/record reads are
+        counted (and traced) like any other access but attributed to the
+        *scan* - the get/put/delete cost distributions stay pure per-op
+        measurements.
+        """
+        self._check_key(key)
+        return self._get(key)
 
     def utilization(self, total_memory: Optional[int] = None) -> float:
         """Stored KV bytes over the memory size ("memory utilization")."""

@@ -1,0 +1,133 @@
+"""The pluggable index interface of the memory path.
+
+The store's data structures were historically hard-wired to the chained
+hash table.  :class:`Index` extracts the contract the rest of the system
+actually depends on - lookup / insert / delete / scan, each executing
+against the shared :class:`~repro.dram.host.MemoryImage` so its memory
+accesses land in the same counted (and, inside the pipeline, traced)
+stream the PCIe/NIC-DRAM models replay.  Determinism is part of the
+contract: for a given store state and operation, an index must issue the
+same access sequence every time, because the golden traces and profile
+exports are byte-compared across runs.
+
+Two implementations exist:
+
+- :class:`~repro.core.hashtable.HashTable` - the paper's chained hash
+  table.  Lookup/insert/delete only; scan raises
+  :class:`~repro.errors.UnsupportedOperation` (a hash table has no key
+  order).
+- :class:`CompositeIndex` - the hash table plus an optional
+  :class:`~repro.core.ordered.OrderedIndex` kept in sync on every
+  insert/delete.  This is what :class:`~repro.core.store.KVDirectStore`
+  routes through; with the ordered side disabled (the default) it is a
+  zero-cost veneer over the hash table, preserving byte-identical
+  behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.core.operations import ScanEntry
+from repro.errors import SimulationError, UnsupportedOperation
+from repro.sim.stats import Counter, RunningStats
+
+
+class Index(ABC):
+    """What the memory path requires of a KV index.
+
+    Every method executes functionally against the backing memory image;
+    the *modeled* cost of an operation is exactly the deterministic
+    sequence of counted ``memory.read``/``memory.write`` calls it makes,
+    which the pipeline's memory stage captures with
+    ``memory.start_trace()`` and replays through the DMA/cache models.
+    """
+
+    @abstractmethod
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        """Value of ``key``, or None."""
+
+    @abstractmethod
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert or replace a pair; returns True."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it existed."""
+
+    @abstractmethod
+    def scan(
+        self, start: bytes, count: int, with_values: bool = True
+    ) -> List[ScanEntry]:
+        """Up to ``count`` entries with key >= ``start``, ascending.
+
+        Entries are ``(key, value)`` pairs when ``with_values`` (RANGE)
+        and ``(key, None)`` otherwise (SCAN).  Raises
+        :class:`~repro.errors.UnsupportedOperation` when the index keeps
+        no key order.
+        """
+
+
+class CompositeIndex(Index):
+    """Hash table plus an optional ordered sidecar, kept consistent.
+
+    Point operations go straight to the hash table; when an
+    :class:`~repro.core.ordered.OrderedIndex` is attached, inserts of
+    *new* keys (detected via the table's key count - replacements don't
+    touch the ordered structure) and deletes of existing keys maintain
+    it, and scans walk it, probing the hash table for values on RANGE.
+    """
+
+    def __init__(self, table, ordered=None) -> None:
+        self.table = table
+        self.ordered = ordered
+        #: Memory accesses per scan op (the ordered analogue of the
+        #: table's get/put/delete cost stats).
+        self.scan_cost = RunningStats()
+        self.counters = Counter()
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        return self.table.get(key)
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        if self.ordered is None:
+            return self.table.put(key, value)
+        before = self.table.count
+        ok = self.table.put(key, value)
+        if self.table.count != before:
+            self.ordered.insert(key)
+        return ok
+
+    def delete(self, key: bytes) -> bool:
+        existed = self.table.delete(key)
+        if existed and self.ordered is not None:
+            self.ordered.delete(key)
+        return existed
+
+    def scan(
+        self, start: bytes, count: int, with_values: bool = True
+    ) -> List[ScanEntry]:
+        if self.ordered is None:
+            raise UnsupportedOperation(
+                "RANGE/SCAN require an ordered index; this store is "
+                "hash-only (config.ordered_index is off)"
+            )
+        memory = self.table.memory
+        before = memory.accesses
+        keys = self.ordered.scan(start, count)
+        entries: List[ScanEntry] = []
+        for key in keys:
+            if not with_values:
+                entries.append((key, None))
+                continue
+            value = self.table.probe(key)
+            if value is None:
+                raise SimulationError(
+                    f"ordered index out of sync: key {key!r} has no "
+                    f"hash-table record"
+                )
+            entries.append((key, value))
+        self.scan_cost.record(memory.accesses - before)
+        self.counters.add("ranges" if with_values else "scans")
+        return entries

@@ -187,7 +187,11 @@ class ReservationStation:
             slot.busy_op = None
             return completion
 
-        if self.forwarding:
+        if self.forwarding and not op.carries_count:
+            # Never forward out of a completed RANGE/SCAN: its value_after
+            # is None by construction (a scan reads many keys, not the
+            # slot key), and handing that to dependents would look like a
+            # phantom delete.  Dependents re-enter via next_issue instead.
             self._forward_chain(slot, completion)
 
         if completion.writeback is None:
@@ -234,11 +238,15 @@ class ReservationStation:
         (hash-collision false positives) are skipped, not blocked on - they
         are semantically independent, which is what "eliminates head-of-line
         blocking under workload with popular keys".
+
+        Queued RANGE/SCAN ops are never forwarded either - a cached
+        single-key value cannot answer a multi-key scan - so they wait
+        their turn for the main pipeline like different-key ops.
         """
         dirty = False
         remaining: Deque[KVOperation] = deque()
         for nxt in slot.chain:
-            if nxt.key != slot.busy_key:
+            if nxt.key != slot.busy_key or nxt.carries_count:
                 remaining.append(nxt)
                 continue
             new_value, result = self.executor(nxt, slot.cached)

@@ -1,17 +1,27 @@
-"""KV-Direct operation set (Table 1).
+"""KV-Direct operation set (Table 1), plus ordered extensions.
 
 KV-Direct extends one-sided RDMA READ/WRITE to key-value operations:
 GET / PUT / DELETE, atomic scalar updates, and vector operations
 (scalar-to-vector update, vector-to-vector update, reduce, filter) whose
 user-defined functions are pre-registered and compiled to hardware logic
 (here: registered Python callables in :mod:`repro.core.vector`).
+
+Beyond the paper's table, RANGE and SCAN address ordered access: both
+start at ``key`` (inclusive, lexicographic byte order) and visit up to
+``count`` keys through the store's :class:`~repro.core.ordered.OrderedIndex`.
+RANGE returns (key, value) pairs; SCAN returns keys only.  Results travel
+in the :class:`KVResult` value payload (see :func:`encode_scan_payload`).
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Optional
+from heapq import merge as _heap_merge
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
 
 
 class OpType(IntEnum):
@@ -30,6 +40,10 @@ class OpType(IntEnum):
     REDUCE = 6
     #: Keep vector elements where λ(v_i) is true.
     FILTER = 7
+    #: Ordered scan from ``key``: up to ``count`` (key, value) pairs.
+    RANGE = 8
+    #: Ordered scan from ``key``: up to ``count`` keys (no values).
+    SCAN = 9
 
 
 #: Operations that carry a value payload to the server.
@@ -46,11 +60,17 @@ _OPS_WITH_FUNC = frozenset(
     }
 )
 
+#: Ordered operations carrying a scan count/limit field.
+_OPS_WITH_COUNT = frozenset({OpType.RANGE, OpType.SCAN})
+
 #: Maximum key length encodable on the wire (1 byte).
 MAX_KEY_LEN = 255
 
 #: Maximum value length encodable on the wire (2 bytes).
 MAX_VALUE_LEN = 65535
+
+#: Maximum scan count/limit encodable on the wire (2 bytes, non-zero).
+MAX_SCAN_COUNT = 65535
 
 
 @dataclass(frozen=True)
@@ -59,7 +79,9 @@ class KVOperation:
 
     ``value`` is the payload for PUT and the Δ-vector for vector2vector
     updates; ``param`` is the scalar Δ (or reduction initial value Σ) for
-    function ops; ``func_id`` names a pre-registered λ.
+    function ops; ``func_id`` names a pre-registered λ; ``count`` is the
+    result limit for the ordered RANGE/SCAN operations (whose ``key`` is
+    the inclusive start of the scan).
     """
 
     op: OpType
@@ -67,6 +89,7 @@ class KVOperation:
     value: Optional[bytes] = None
     func_id: int = 0
     param: bytes = b""
+    count: int = 0
     #: Client-side issue sequence, for latency attribution.
     seq: int = field(default=0, compare=False)
     #: Cluster-map epoch the client stamped at routing time; -1 disables
@@ -98,6 +121,14 @@ class KVOperation:
                 raise ValueError("param too long")
         elif self.func_id or self.param:
             raise ValueError(f"{self.op.name} does not take func/param")
+        if self.carries_count:
+            if not 1 <= self.count <= MAX_SCAN_COUNT:
+                raise ValueError(
+                    f"scan count must be in [1, {MAX_SCAN_COUNT}]: "
+                    f"{self.count}"
+                )
+        elif self.count:
+            raise ValueError(f"{self.op.name} does not take a count")
 
     @property
     def carries_value(self) -> bool:
@@ -108,9 +139,19 @@ class KVOperation:
         return self.op in _OPS_WITH_FUNC
 
     @property
+    def carries_count(self) -> bool:
+        return self.op in _OPS_WITH_COUNT
+
+    @property
     def is_write(self) -> bool:
-        """Writes mutate store state (everything but GET/REDUCE/FILTER)."""
-        return self.op not in (OpType.GET, OpType.REDUCE, OpType.FILTER)
+        """Writes mutate store state (reads: GET/REDUCE/FILTER/RANGE/SCAN)."""
+        return self.op not in (
+            OpType.GET,
+            OpType.REDUCE,
+            OpType.FILTER,
+            OpType.RANGE,
+            OpType.SCAN,
+        )
 
     # -- convenience constructors ------------------------------------------
 
@@ -134,6 +175,16 @@ class KVOperation:
             OpType.UPDATE_SCALAR, key, func_id=func_id, param=param, seq=seq
         )
 
+    @classmethod
+    def range(cls, start: bytes, count: int, seq: int = 0) -> "KVOperation":
+        """Ordered scan: up to ``count`` (key, value) pairs from ``start``."""
+        return cls(OpType.RANGE, start, count=count, seq=seq)
+
+    @classmethod
+    def scan(cls, start: bytes, count: int, seq: int = 0) -> "KVOperation":
+        """Ordered key scan: up to ``count`` keys from ``start``."""
+        return cls(OpType.SCAN, start, count=count, seq=seq)
+
 
 @dataclass(frozen=True)
 class KVResult:
@@ -148,3 +199,99 @@ class KVResult:
     def found(self) -> bool:
         """For GET: whether the key existed."""
         return self.ok and self.value is not None
+
+
+# -- scan result payloads ------------------------------------------------------
+#
+# RANGE/SCAN results ride in the KVResult value field as a compact,
+# deterministic byte payload so they cross the existing response paths
+# (client response flights, cross-shard merging) unchanged:
+#
+#     u16   entry count
+#     per entry:
+#         u8    key length, key bytes
+#         u16   value length, value bytes   (RANGE only)
+#
+# All integers little-endian, entries in ascending key order.
+
+_U16 = struct.Struct("<H")
+
+#: One scan result entry: (key, value) for RANGE, (key, None) for SCAN.
+ScanEntry = Tuple[bytes, Optional[bytes]]
+
+
+def encode_scan_payload(
+    entries: Sequence[ScanEntry], with_values: bool
+) -> bytes:
+    """Pack ordered scan results into a response payload."""
+    if len(entries) > MAX_SCAN_COUNT:
+        raise ValueError(f"too many scan entries: {len(entries)}")
+    parts = [_U16.pack(len(entries))]
+    for key, value in entries:
+        parts.append(bytes([len(key)]))
+        parts.append(key)
+        if with_values:
+            if value is None:
+                raise ValueError("RANGE payload entry missing its value")
+            parts.append(_U16.pack(len(value)))
+            parts.append(value)
+    return b"".join(parts)
+
+
+def decode_scan_payload(payload: bytes, with_values: bool) -> List[ScanEntry]:
+    """Unpack a scan response payload back into entries.
+
+    Raises :class:`~repro.errors.ProtocolError` on a malformed payload -
+    these bytes arrive over the wire, like batched requests.
+    """
+    if len(payload) < _U16.size:
+        raise ProtocolError("scan payload too short")
+    (count,) = _U16.unpack_from(payload)
+    pos = _U16.size
+    entries: List[ScanEntry] = []
+    for __ in range(count):
+        if pos >= len(payload):
+            raise ProtocolError("truncated scan payload")
+        klen = payload[pos]
+        pos += 1
+        key = payload[pos : pos + klen]
+        pos += klen
+        value: Optional[bytes] = None
+        if with_values:
+            if pos + _U16.size > len(payload):
+                raise ProtocolError("truncated scan payload")
+            (vlen,) = _U16.unpack_from(payload, pos)
+            pos += _U16.size
+            value = payload[pos : pos + vlen]
+            pos += vlen
+        if pos > len(payload) or len(key) != klen:
+            raise ProtocolError("truncated scan payload")
+        entries.append((key, value))
+    if pos != len(payload):
+        raise ProtocolError("trailing bytes after scan payload")
+    return entries
+
+
+def merge_scan_payloads(
+    payloads: Iterable[bytes], count: int, with_values: bool
+) -> bytes:
+    """Merge per-shard scan payloads into one globally ordered payload.
+
+    Each shard returns its locally ordered prefix; a k-way merge by key
+    restores the global order, truncated to the operation's ``count``.
+    Duplicate keys collapse to their first occurrence (stable in payload
+    order): disjoint hash shards never produce them, but replicated
+    cluster nodes do - a node's store holds backup copies of other
+    nodes' slots, so two primaries can both report the same key.
+    """
+    streams = [decode_scan_payload(p, with_values) for p in payloads]
+    merged: List[ScanEntry] = []
+    last_key: Optional[bytes] = None
+    for entry in _heap_merge(*streams, key=lambda entry: entry[0]):
+        if entry[0] == last_key:
+            continue
+        merged.append(entry)
+        last_key = entry[0]
+        if len(merged) == count:
+            break
+    return encode_scan_payload(merged, with_values)

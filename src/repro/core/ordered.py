@@ -1,0 +1,171 @@
+"""Ordered index sidecar: sorted leaves in slab memory beside the hash table.
+
+KV-Direct's hash layout (PAPER.md §3.3) has no key order, which is why
+ordered key-value stores are the hard case for NIC offload.  This module
+models the cheapest credible ordered structure a KV processor could
+maintain: a single-level sequence of sorted *leaves*, each one a 512 B
+slab allocation in the same host memory region (and therefore behind the
+same PCIe/NIC-DRAM cost models) as the KV data, plus a small leaf
+directory of first-keys pinned in NIC SRAM (like the hash-index base
+address and slab stack heads, it costs no DMA - see docs/MODELING.md).
+
+Modeled costs are *measured*, not asserted, through the shared
+:class:`~repro.dram.host.MemoryImage`:
+
+- **insert**: read the target leaf + write it back (2 accesses), plus one
+  extra leaf write when the leaf splits (amortized ``2/LEAF_CAPACITY``).
+- **delete**: read + write-back (2 accesses); an emptied leaf is freed
+  instead of written.
+- **scan(count)**: one leaf read per visited leaf, i.e. about
+  ``1 + count/LEAF_CAPACITY`` sequential reads - values, when requested,
+  are probed through the hash table at ~1 access each on top.
+
+Leaf writes store a digest image (entry count + per-key FNV-1a64), not
+the variable-length keys themselves: the bytes are deterministic and
+leaf-sized, which is all the DMA/cache models consume.  The full keys
+live in the Python mirror, exactly like the functional half of every
+other structure in this reproduction.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right, insort
+from typing import List
+
+from repro.core.hashing import fnv1a64
+from repro.core.slab import SlabAllocator
+from repro.core.slab_host import class_size
+from repro.dram.host import MemoryImage
+from repro.errors import SimulationError
+
+#: Slab size class of one leaf (class 4 = 512 B, the largest slab).
+LEAF_CLASS = 4
+
+#: Keys per leaf before it splits.
+LEAF_CAPACITY = 16
+
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+
+
+class _Leaf:
+    """One sorted run of keys backed by a 512 B slab."""
+
+    __slots__ = ("addr", "keys")
+
+    def __init__(self, addr: int, keys: List[bytes]) -> None:
+        self.addr = addr
+        self.keys = keys
+
+
+class OrderedIndex:
+    """Sorted-leaf index over the store's slab memory."""
+
+    def __init__(self, memory: MemoryImage, allocator: SlabAllocator) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.leaf_bytes = class_size(LEAF_CLASS)
+        #: Leaves in ascending key order (directory modeled as NIC SRAM).
+        self._leaves: List[_Leaf] = []
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    # -- leaf IO ---------------------------------------------------------------
+
+    def _image(self, leaf: _Leaf) -> bytes:
+        """The deterministic byte image written back for one leaf."""
+        parts = [_U16.pack(len(leaf.keys))]
+        parts.extend(_U64.pack(fnv1a64(key)) for key in leaf.keys)
+        return b"".join(parts).ljust(self.leaf_bytes, b"\x00")
+
+    def _read(self, leaf: _Leaf) -> None:
+        self.memory.read(leaf.addr, self.leaf_bytes)
+
+    def _write(self, leaf: _Leaf) -> None:
+        self.memory.write(leaf.addr, self._image(leaf))
+
+    def _leaf_index(self, key: bytes) -> int:
+        """Index of the leaf whose key range covers ``key``."""
+        position = bisect_right(
+            self._leaves, key, key=lambda leaf: leaf.keys[0]
+        )
+        return max(position - 1, 0)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, key: bytes) -> None:
+        """Add a *new* key (the composite index filters replacements)."""
+        if not self._leaves:
+            leaf = _Leaf(self.allocator.alloc_class(LEAF_CLASS), [key])
+            self._leaves.append(leaf)
+            self._write(leaf)
+            self.count += 1
+            return
+        index = self._leaf_index(key)
+        leaf = self._leaves[index]
+        self._read(leaf)
+        insort(leaf.keys, key)
+        self.count += 1
+        if len(leaf.keys) > LEAF_CAPACITY:
+            mid = len(leaf.keys) // 2
+            sibling = _Leaf(
+                self.allocator.alloc_class(LEAF_CLASS), leaf.keys[mid:]
+            )
+            leaf.keys = leaf.keys[:mid]
+            self._leaves.insert(index + 1, sibling)
+            self._write(sibling)
+        self._write(leaf)
+
+    def delete(self, key: bytes) -> None:
+        """Remove an existing key (caller guarantees presence)."""
+        if not self._leaves:
+            raise SimulationError(f"ordered delete of unknown key {key!r}")
+        index = self._leaf_index(key)
+        leaf = self._leaves[index]
+        self._read(leaf)
+        try:
+            leaf.keys.remove(key)
+        except ValueError:
+            raise SimulationError(
+                f"ordered delete of unknown key {key!r}"
+            ) from None
+        self.count -= 1
+        if leaf.keys:
+            self._write(leaf)
+        else:
+            # Emptied leaf: free its slab instead of writing it back.
+            del self._leaves[index]
+            self.allocator.free(leaf.addr, LEAF_CLASS)
+
+    # -- scans -------------------------------------------------------------------
+
+    def scan(self, start: bytes, count: int) -> List[bytes]:
+        """Up to ``count`` keys >= ``start``, ascending; one read per leaf."""
+        if count <= 0 or not self._leaves:
+            return []
+        result: List[bytes] = []
+        for leaf in self._leaves[self._leaf_index(start) :]:
+            self._read(leaf)
+            for key in leaf.keys:
+                if key < start:
+                    continue
+                result.append(key)
+                if len(result) == count:
+                    return result
+        return result
+
+    # -- introspection ------------------------------------------------------------
+
+    def keys(self) -> List[bytes]:
+        """Every key, ascending (uncounted; for tests and invariants)."""
+        return [key for leaf in self._leaves for key in leaf.keys]
+
+    def snapshot(self) -> dict:
+        return {
+            "keys": self.count,
+            "leaves": len(self._leaves),
+            "leaf_capacity": LEAF_CAPACITY,
+        }

@@ -313,31 +313,40 @@ class KVProcessor:
     def execute_functional(
         self, op: KVOperation
     ) -> Tuple[KVResult, Optional[bytes]]:
-        """Run the op on the hash table; also return the value afterwards
-        (the reservation station caches it for data forwarding)."""
-        table = self.store.table
+        """Run the op on the store's index; also return the value afterwards
+        (the reservation station caches it for data forwarding).
+
+        Scans return their encoded result payload in the KVResult and
+        ``None`` as the value-after: a scan mutates nothing, and the
+        completion path never forwards from a scan (see
+        :meth:`~repro.core.ooo.ReservationStation.complete`).
+        """
+        index = self.store.index
         if op.op is OpType.GET:
-            value = table.get(op.key)
+            value = index.lookup(op.key)
             return (
                 KVResult(op.op, ok=value is not None, value=value, seq=op.seq),
                 value,
             )
         if op.op is OpType.PUT:
             assert op.value is not None
-            table.put(op.key, op.value)
+            index.insert(op.key, op.value)
             return KVResult(op.op, ok=True, seq=op.seq), op.value
         if op.op is OpType.DELETE:
-            existed = table.delete(op.key)
+            existed = index.delete(op.key)
             return KVResult(op.op, ok=existed, seq=op.seq), None
-        current = table.get(op.key)
+        if op.op in (OpType.RANGE, OpType.SCAN):
+            result = self.store.execute(op)
+            return result, None
+        current = index.lookup(op.key)
         if current is None:
             return KVResult(op.op, ok=False, seq=op.seq), None
         new_value, result = apply_operation(op, current, self.store.registry)
         if new_value != current:
             if new_value is None:
-                table.delete(op.key)
+                index.delete(op.key)
             else:
-                table.put(op.key, new_value)
+                index.insert(op.key, new_value)
         return result, new_value
 
     def compute_time(self, op: KVOperation, value_after) -> float:

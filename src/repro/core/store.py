@@ -16,7 +16,14 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.config import KVDirectConfig
 from repro.core.hashtable import HashTable
-from repro.core.operations import KVOperation, KVResult, OpType
+from repro.core.index import CompositeIndex
+from repro.core.operations import (
+    KVOperation,
+    KVResult,
+    OpType,
+    encode_scan_payload,
+)
+from repro.core.ordered import OrderedIndex
 from repro.core.slab import SlabAllocator
 from repro.core.slab_host import HostSlabManager
 from repro.core.vector import FuncKind, FunctionRegistry, apply_operation
@@ -53,6 +60,16 @@ class KVDirectStore:
             self.config.num_buckets,
             inline_threshold=self.config.inline_threshold,
         )
+        #: Ordered sidecar for RANGE/SCAN, when configured (else None).
+        self.ordered = (
+            OrderedIndex(self.memory, self.allocator)
+            if self.config.ordered_index
+            else None
+        )
+        #: The pluggable index every operation routes through.  With the
+        #: ordered side disabled this is a zero-cost veneer over the hash
+        #: table (identical call and access sequences).
+        self.index = CompositeIndex(self.table, self.ordered)
         self.registry = FunctionRegistry()
 
     @classmethod
@@ -66,15 +83,19 @@ class KVDirectStore:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """``get(k) -> v`` - value of key k, or None."""
-        return self.table.get(key)
+        return self.index.lookup(key)
 
     def put(self, key: bytes, value: bytes) -> bool:
         """``put(k, v) -> bool`` - insert or replace a (k, v) pair."""
-        return self.table.put(key, value)
+        return self.index.insert(key, value)
 
     def delete(self, key: bytes) -> bool:
         """``delete(k) -> bool`` - delete key k; False if absent."""
-        return self.table.delete(key)
+        return self.index.delete(key)
+
+    def range_scan(self, start: bytes, count: int, with_values: bool = True):
+        """``range(k, n)`` - up to n ordered entries from k (inclusive)."""
+        return self.index.scan(start, count, with_values=with_values)
 
     def update(
         self, key: bytes, func_id: int, param: bytes
@@ -131,31 +152,41 @@ class KVDirectStore:
     def execute(self, op: KVOperation) -> KVResult:
         """Execute any wire operation against the store.
 
-        GET/PUT/DELETE go straight to the hash table.  Function operations
-        are read-modify-write: fetch the value, apply the λ (the same
+        GET/PUT/DELETE go straight through the index (the hash table,
+        plus ordered maintenance when configured).  RANGE/SCAN walk the
+        ordered index and return their entries as an encoded payload in
+        the result value.  Function operations are read-modify-write:
+        fetch the value, apply the λ (the same
         :func:`~repro.core.vector.apply_operation` the OoO engine's
         forwarding path uses), and write back if it changed.
         """
         if op.op is OpType.GET:
-            value = self.table.get(op.key)
+            value = self.index.lookup(op.key)
             return KVResult(op.op, ok=value is not None, value=value,
                             seq=op.seq)
         if op.op is OpType.PUT:
             assert op.value is not None
-            self.table.put(op.key, op.value)
+            self.index.insert(op.key, op.value)
             return KVResult(op.op, ok=True, seq=op.seq)
         if op.op is OpType.DELETE:
-            existed = self.table.delete(op.key)
+            existed = self.index.delete(op.key)
             return KVResult(op.op, ok=existed, seq=op.seq)
-        current = self.table.get(op.key)
+        if op.op in (OpType.RANGE, OpType.SCAN):
+            with_values = op.op is OpType.RANGE
+            entries = self.index.scan(
+                op.key, op.count, with_values=with_values
+            )
+            payload = encode_scan_payload(entries, with_values)
+            return KVResult(op.op, ok=True, value=payload, seq=op.seq)
+        current = self.index.lookup(op.key)
         if current is None:
             return KVResult(op.op, ok=False, seq=op.seq)
         new_value, result = apply_operation(op, current, self.registry)
         if new_value != current:
             if new_value is None:
-                self.table.delete(op.key)
+                self.index.delete(op.key)
             else:
-                self.table.put(op.key, new_value)
+                self.index.insert(op.key, new_value)
         return result
 
     def forwarding_executor(
@@ -228,6 +259,7 @@ class KVDirectStore:
             ("get", self.table.get_cost),
             ("put", self.table.put_cost),
             ("delete", self.table.delete_cost),
+            ("scan", self.index.scan_cost),
         ):
             if cost.count:
                 stats[f"{name}_mean_accesses"] = cost.mean
@@ -240,6 +272,7 @@ class KVDirectStore:
         self.table.get_cost = type(self.table.get_cost)()
         self.table.put_cost = type(self.table.put_cost)()
         self.table.delete_cost = type(self.table.delete_cost)()
+        self.index.scan_cost = type(self.index.scan_cost)()
 
     def keys(self):
         """Iterate every stored key (uncounted, like :meth:`items`)."""

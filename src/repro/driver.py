@@ -32,10 +32,10 @@ from __future__ import annotations
 
 import gc
 import time
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.hashing import shard_of_many
-from repro.core.operations import KVOperation
+from repro.core.operations import KVOperation, OpType, merge_scan_payloads
 from repro.sim.stats import Histogram, mops
 
 
@@ -142,6 +142,7 @@ def run_closed_loop_sharded(
     server,
     ops: Sequence[KVOperation],
     concurrency_per_nic: int = 128,
+    scan_results: Optional[Dict[int, bytes]] = None,
 ) -> Dict[str, float]:
     """Drive every shard of a sharded server concurrently.
 
@@ -150,30 +151,75 @@ def run_closed_loop_sharded(
     slow shard never stalls the others' submission windows.  Returns
     aggregate statistics (the Table 3 scaling measurement), including
     latency percentiles over the merged per-shard histograms.
+
+    Point operations route to the shard owning their key; RANGE/SCAN ops
+    fan out to *every* shard (hash sharding scatters adjacent keys) and
+    their per-shard payloads are k-way merged by key, truncated to the
+    op's count.  Pass a dict as ``scan_results`` to receive
+    ``{seq: merged payload}`` for every scan that succeeded on all
+    shards.  Merging is deterministic regardless of simulated completion
+    order: partials are merged per scan in ascending ``seq``, visiting
+    shards in shard-index order - asserted below so sharded scan results
+    are seed-stable (same seed, same bytes, any shard count).
     """
     sim = server.sim
     shards: List[List[KVOperation]] = [[] for __ in range(server.nic_count)]
+    scans: Dict[int, KVOperation] = {}
     for op, shard in zip(
         ops, shard_of_many([op.key for op in ops], server.nic_count)
     ):
-        shards[shard].append(op)
+        if op.carries_count:
+            # Ordered ops cannot be routed by key hash: every shard owns
+            # an arbitrary slice of the key range, so all must answer.
+            scans[op.seq] = op
+            for queue in shards:
+                queue.append(op)
+        else:
+            shards[shard].append(op)
+    total = sum(len(queue) for queue in shards)
     done = sim.event()
-    state = {"remaining": len(ops)}
+    state = {"remaining": total}
+    #: seq -> {shard index -> payload}, for scans only.
+    partials: Dict[int, Dict[int, bytes]] = {}
 
-    def on_response(event) -> None:
-        state["remaining"] -= 1
-        if state["remaining"] == 0 and not done.triggered:
-            done.succeed()
+    def make_on_response(shard: int):
+        def on_response(event) -> None:
+            state["remaining"] -= 1
+            if event.ok and event.value is not None:
+                result = event.value
+                if result.seq in scans and result.ok:
+                    partials.setdefault(result.seq, {})[shard] = result.value
+            if state["remaining"] == 0 and not done.triggered:
+                done.succeed()
+
+        return on_response
 
     start = sim.now
     wall_start = time.perf_counter()
-    for processor, queue in zip(server.processors, shards):
+    for shard, (processor, queue) in enumerate(
+        zip(server.processors, shards)
+    ):
         if queue:
             _pump_lane(processor, list(reversed(queue)),
-                       concurrency_per_nic, on_response)
+                       concurrency_per_nic, make_on_response(shard))
     if state["remaining"] == 0 and not done.triggered:
         done.succeed()
     _run_paused_gc(sim, done)
+    if scan_results is not None:
+        for seq in sorted(partials):
+            by_shard = partials[seq]
+            if len(by_shard) != server.nic_count:
+                continue  # a shard failed the scan; no merged result
+            shard_order = sorted(by_shard)
+            # Determinism invariant: the merge consumes shards in index
+            # order and seqs ascending, never in completion order.
+            assert shard_order == list(range(server.nic_count))
+            op = scans[seq]
+            scan_results[seq] = merge_scan_payloads(
+                [by_shard[shard] for shard in shard_order],
+                op.count,
+                with_values=op.op.name == "RANGE",
+            )
     wall_clock_s = time.perf_counter() - wall_start
     elapsed = sim.now - start
     merged = Histogram()

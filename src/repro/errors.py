@@ -29,6 +29,16 @@ class ProtocolError(KVDirectError):
     """A network packet could not be decoded."""
 
 
+class UnsupportedOperation(KVDirectError):
+    """The store's index cannot execute this operation.
+
+    Raised when an ordered operation (RANGE/SCAN) reaches a store whose
+    index is hash-only (``ordered_index=False``): a chained hash table
+    has no key order to scan.  Surfaced to clients as a failed response,
+    like any other server-side :class:`KVDirectError`.
+    """
+
+
 class AllocationError(CapacityError):
     """The slab allocator could not satisfy a request."""
 

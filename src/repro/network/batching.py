@@ -20,13 +20,16 @@ One operation::
 
     u8    opcode (low 4 bits) | flags (SAME_KLEN, SAME_VLEN, SAME_VALUE)
     u8    key length            (omitted when SAME_KLEN)
+    u16   scan count / limit    (only for RANGE/SCAN; non-zero)
     u16   value length          (omitted when SAME_VLEN; only for value ops)
     u8    func id               (only for function ops)
     u16   param length + bytes  (only for function ops)
     key bytes
     value bytes                 (omitted when SAME_VALUE)
 
-All multi-byte integers are little-endian.
+All multi-byte integers are little-endian.  Unknown 4-bit opcodes decode
+to a typed :class:`~repro.errors.ProtocolError` (opcodes 0-9 are
+assigned; 10-15 are reserved).
 """
 
 from __future__ import annotations
@@ -124,6 +127,8 @@ class BatchEncoder:
         else:
             header.append(klen)
             self._prev_klen = klen
+        if op.carries_count:
+            header.extend(_U16.pack(op.count))
         body = bytearray()
         if op.carries_value:
             assert op.value is not None
@@ -177,6 +182,11 @@ class BatchEncoder:
                     f"param length {len(op.param)} exceeds the wire "
                     f"format's u16 param-length field (max 65535)"
                 )
+        if op.carries_count and not 1 <= op.count <= 0xFFFF:
+            raise ProtocolError(
+                f"scan count {op.count} outside the wire format's "
+                f"non-zero u16 count field (1..65535)"
+            )
 
     def finish(self) -> bytes:
         """Return the encoded batch payload."""
@@ -261,6 +271,13 @@ class BatchDecoder:
             else:
                 klen = self._u8()
                 prev_klen = klen
+            count = 0
+            if op_type in (OpType.RANGE, OpType.SCAN):
+                count = self._u16()
+                if count == 0:
+                    raise ProtocolError(
+                        f"{op_type.name} with zero scan count"
+                    )
             carries_value = op_type in (OpType.PUT, OpType.UPDATE_VECTOR2VECTOR)
             vlen = None
             same_value = False
@@ -297,7 +314,8 @@ class BatchDecoder:
                     prev_value = value
             ops.append(
                 KVOperation(
-                    op_type, key, value=value, func_id=func_id, param=param
+                    op_type, key, value=value, func_id=func_id, param=param,
+                    count=count,
                 )
             )
         if self._pos != len(self._data):

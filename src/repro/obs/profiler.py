@@ -6,8 +6,8 @@ each stage it crosses; the metrics layer (PR 2) only ever exported
 aggregates of the *whole* pipeline.  :class:`StageProfiler` closes that
 gap: attached to a :class:`~repro.core.processor.KVProcessor` it consumes
 those timestamps at completion time and decomposes every operation's
-end-to-end latency, per op class (GET / PUT / DELETE / atomic / vector),
-into queueing vs. service segments at each stage::
+end-to-end latency, per op class (GET / PUT / DELETE / atomic / vector /
+range / scan), into queueing vs. service segments at each stage::
 
     decode --> admission --> issue --> memory --> complete
 
@@ -65,7 +65,7 @@ STAGE_ORDER = ("decode", "admission", "issue", "memory", "complete")
 _QUEUE_STAGES = frozenset({"admission", "issue"})
 
 #: Op classes in report order.
-OP_CLASSES = ("get", "put", "delete", "atomic", "vector")
+OP_CLASSES = ("get", "put", "delete", "atomic", "vector", "range", "scan")
 
 #: Bucket for station write-backs and other seq < 0 work.
 INTERNAL = "internal"
@@ -101,6 +101,10 @@ def op_class(op: KVOperation) -> str:
         return "delete"
     if op.op is OpType.UPDATE_SCALAR:
         return "atomic"
+    if op.op is OpType.RANGE:
+        return "range"
+    if op.op is OpType.SCAN:
+        return "scan"
     return "vector"
 
 

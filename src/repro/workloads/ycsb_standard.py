@@ -7,10 +7,14 @@ module provides the named presets from the YCSB paper for convenience:
 - **B** read-mostly: 95 % read / 5 % update, Zipf;
 - **C** read-only: 100 % read, Zipf;
 - **D** read-latest: 95 % read / 5 % insert; reads skew to recent inserts;
+- **E** short ranges: 95 % scan / 5 % insert; Zipf start keys, uniform
+  scan lengths in [1, 25];
 - **F** read-modify-write: 50 % read / 50 % RMW, Zipf.
 
-Workload E (scans) is omitted: KV-Direct is a hash store and, like the
-paper, supports no range scans.  RMW in F maps naturally onto KV-Direct's
+Workload E requires the ordered index sidecar
+(``KVDirectConfig(ordered_index=True)``): the paper's hash store keeps
+no key order, so its scans map onto the RANGE op added with the
+pluggable-index refactor.  RMW in F maps naturally onto KV-Direct's
 atomic UPDATE - the server-side fetch-add the paper's §3.2 motivates -
 instead of the client-side read-then-write YCSB assumes.
 """
@@ -29,7 +33,12 @@ from repro.workloads.keyspace import KeySpace
 from repro.workloads.zipf import ZipfSampler
 
 #: The supported preset letters.
-WORKLOADS = ("A", "B", "C", "D", "F")
+WORKLOADS = ("A", "B", "C", "D", "E", "F")
+
+#: Workload E's maximum scan length (the YCSB default is uniform
+#: lengths in [1, 100]; we use a shorter tail so simulated runs stay
+#: fast while still spanning multiple ordered-index leaves).
+MAX_SCAN_LEN = 25
 
 
 class StandardYCSB:
@@ -42,7 +51,7 @@ class StandardYCSB:
         if workload not in WORKLOADS:
             raise ConfigurationError(
                 f"unsupported YCSB workload {workload!r}; "
-                f"choose one of {WORKLOADS} (E needs range scans)"
+                f"choose one of {WORKLOADS}"
             )
         self.keyspace = keyspace
         self.workload = workload
@@ -103,6 +112,16 @@ class StandardYCSB:
         key = b"new:" + (self._inserted - back).to_bytes(8, "big")
         return KVOperation.get(key, seq=seq)
 
+    def _op_e(self, seq: int) -> KVOperation:
+        if self._rng.random() < 0.05:
+            self._inserted += 1
+            key = b"new:" + self._inserted.to_bytes(8, "big")
+            return KVOperation.put(key, self.keyspace.value(0), seq=seq)
+        # Short ranges: Zipf-popular start key, uniform scan length.
+        start = self.keyspace.key(self._zipf.sample())
+        count = self._rng.randint(1, MAX_SCAN_LEN)
+        return KVOperation.range(start, count, seq=seq)
+
     def _op_f(self, seq: int) -> KVOperation:
         if self._rng.random() < 0.5:
             return self._read(seq)
@@ -122,5 +141,6 @@ def mix_of(workload: str) -> dict:
         "B": {"read": 0.95, "update": 0.05},
         "C": {"read": 1.0},
         "D": {"read": 0.95, "insert": 0.05},
+        "E": {"scan": 0.95, "insert": 0.05},
         "F": {"read": 0.5, "rmw": 0.5},
     }[workload.upper()]

@@ -31,3 +31,27 @@ def test_metrics_prom_byte_identical_to_pre_refactor_golden():
     output = _run("metrics", "--format", "prom")
     golden = (GOLDENS / "metrics_default.prom").read_text()
     assert output == golden
+
+
+def test_range_1shard_byte_identical_to_golden():
+    output = _run("range", "--seed", "7", "--scans", "64", "--shards", "1")
+    golden = (GOLDENS / "range_seed7_1shard.json").read_text()
+    assert output == golden
+
+
+def test_range_4shard_byte_identical_to_golden():
+    output = _run("range", "--seed", "7", "--scans", "64", "--shards", "4")
+    golden = (GOLDENS / "range_seed7_4shard.json").read_text()
+    assert output == golden
+
+
+def test_range_merged_digest_is_shard_count_invariant():
+    """The k-way merge reconstructs the exact single-shard scan results:
+    both committed goldens hash the identical merged payloads."""
+    import json
+
+    one = json.loads((GOLDENS / "range_seed7_1shard.json").read_text())
+    four = json.loads((GOLDENS / "range_seed7_4shard.json").read_text())
+    assert one["results_digest"] == four["results_digest"]
+    assert one["entries"] == four["entries"]
+    assert one["merged"] == one["scans"]

@@ -22,11 +22,7 @@ def op_kinds(ops):
 
 class TestPresets:
     def test_supported_letters(self):
-        assert WORKLOADS == ("A", "B", "C", "D", "F")
-
-    def test_e_rejected(self, keyspace):
-        with pytest.raises(ConfigurationError, match="scans"):
-            StandardYCSB(keyspace, "E")
+        assert WORKLOADS == ("A", "B", "C", "D", "E", "F")
 
     def test_unknown_rejected(self, keyspace):
         with pytest.raises(ConfigurationError):
@@ -72,6 +68,20 @@ class TestMixes:
     def test_mix_of_documentation(self):
         assert mix_of("A") == {"read": 0.5, "update": 0.5}
         assert "rmw" in mix_of("F")
+        assert mix_of("E") == {"scan": 0.95, "insert": 0.05}
+
+    def test_e_scan_heavy(self, keyspace):
+        gen = StandardYCSB(keyspace, "E", seed=1)
+        ops = gen.operations(4000)
+        kinds = op_kinds(ops)
+        assert kinds.count(OpType.RANGE) / 4000 == pytest.approx(
+            0.95, abs=0.02
+        )
+        assert kinds.count(OpType.PUT) / 4000 == pytest.approx(
+            0.05, abs=0.02
+        )
+        counts = [op.count for op in ops if op.op is OpType.RANGE]
+        assert min(counts) >= 1 and max(counts) <= 25
 
 
 class TestSemantics:
@@ -122,3 +132,12 @@ class TestSemantics:
         a = StandardYCSB(keyspace, "A", seed=9).operations(100)
         b = StandardYCSB(keyspace, "A", seed=9).operations(100)
         assert a == b
+
+    def test_e_executes_cleanly_on_ordered_store(self, keyspace):
+        store = KVDirectStore.create(memory_size=2 << 20,
+                                     ordered_index=True)
+        gen = StandardYCSB(keyspace, "E", seed=2)
+        for op in gen.load_phase():
+            store.execute(op)
+        results = [store.execute(op) for op in gen.operations(1000)]
+        assert all(r.ok for r in results)
