@@ -211,6 +211,10 @@ class SoakReport:
     )
     #: Cluster evidence (epoch, failover/replication counters) or None.
     cluster: Optional[dict] = None
+    #: Timeline evidence (window count, digest, phase annotations) when a
+    #: sampler was attached; None - and absent from nothing - otherwise,
+    #: so reports without a timeline stay byte-identical run to run.
+    timeline: Optional[dict] = None
 
     @property
     def goodput(self) -> float:
@@ -253,6 +257,7 @@ class SoakReport:
             "digest": self.digest,
             "robustness": dict(self.robustness),
             "cluster": dict(self.cluster) if self.cluster else None,
+            "timeline": dict(self.timeline) if self.timeline else None,
             "ok": not self.check(),
         }
 
@@ -381,6 +386,8 @@ class _Soak:
             else phase_rng.uniform(cfg.burst_low, cfg.burst_high)
             for phase in range(phases)
         ]
+        #: Kept for timeline phase annotation (report.timeline["phases"]).
+        self.phase_multipliers = multipliers
         schedule: List[List[Tuple[KVOperation, float]]] = []
         for key_idx in range(cfg.num_keys):
             key = b"soak%04d" % key_idx
@@ -578,12 +585,21 @@ def run_soak(
     config: Optional[SoakConfig] = None,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    timeline=None,
+    recorder=None,
 ) -> SoakReport:
     """Run one chaos soak; see the module docstring for the invariants.
 
     When ``registry`` is given every layer's metrics (including the
     ingress/shed counters) are registered on it before the run, so the
-    caller can export them afterwards.
+    caller can export them afterwards.  When ``timeline`` (a
+    :class:`~repro.obs.timeline.TimelineSampler`) is given it is bound
+    to the soak's simulator, attached per shard (``nic<i>``) or per
+    cluster node plus cluster-wide gauges, and run for the soak's
+    duration; the report then carries a ``timeline`` section with the
+    window count, digest, and the arrival schedule's phase annotations.
+    When ``recorder`` (a :class:`~repro.obs.timeline.FlightRecorder`) is
+    given, a failing soak triggers a ``soak_fail`` dump on it.
     """
     soak = _Soak(config or SoakConfig(), tracer)
     if registry is not None:
@@ -595,4 +611,32 @@ def run_soak(
         else:
             for shard, processor in enumerate(soak.processors):
                 processor.register_metrics(registry, prefix=f"nic{shard}")
-    return soak.run()
+    if timeline is not None:
+        timeline.bind(soak.sim)
+        if soak.cluster is not None:
+            timeline.attach_cluster(soak.cluster)
+        elif soak.cfg.num_shards == 1:
+            timeline.attach_processor("nic0", soak.processor)
+        else:
+            for shard, processor in enumerate(soak.processors):
+                timeline.attach_processor(f"nic{shard}", processor)
+        timeline.start()
+    report = soak.run()
+    if timeline is not None:
+        timeline.finish()
+        report.timeline = {
+            "window_ns": timeline.window_ns,
+            "windows": timeline.windows,
+            "digest": timeline.digest(),
+            "phases": [
+                {
+                    "phase": index,
+                    "kind": "calm" if index % 2 == 0 else "burst",
+                    "multiplier": round(multiplier, 6),
+                }
+                for index, multiplier in enumerate(soak.phase_multipliers)
+            ],
+        }
+    if recorder is not None and report.check():
+        recorder.trigger("soak_fail", soak.sim.now)
+    return report

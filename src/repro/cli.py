@@ -9,6 +9,7 @@
     python -m repro tune --kv-size 30 --utilization 0.2
     python -m repro metrics --ops 2000 --format prom
     python -m repro trace --seed 7 --ops 200
+    python -m repro timeline --seed 7 --shards 4 --format jsonl
     python -m repro profile --seed 7 --ops 2000
     python -m repro ycsb -w E --ops 2000
     python -m repro range --seed 7 --scans 64 --shards 4
@@ -132,6 +133,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fraction of ops traced (deterministic hash sampling)",
     )
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="windowed simulated-time telemetry of a seeded run: "
+             "deterministic JSONL series, sparkline table, or Chrome "
+             "trace-event JSON for Perfetto (docs/OBSERVABILITY.md)",
+    )
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--ops", type=int, default=2000)
+    timeline.add_argument("--corpus", type=int, default=1000)
+    timeline.add_argument("--kv-size", type=int, default=13)
+    timeline.add_argument("--put-ratio", type=float, default=0.5)
+    timeline.add_argument("--memory-mib", type=int, default=8)
+    timeline.add_argument(
+        "--window-ns", type=float, default=2000.0,
+        help="sampling window in simulated nanoseconds",
+    )
+    timeline.add_argument(
+        "--shards", type=int, default=1,
+        help="run an N-shard server (per-nic<i> series + an 'all' "
+             "aggregate)",
+    )
+    timeline.add_argument(
+        "--format", choices=("table", "jsonl", "chrome"), default="table",
+        help="sparkline table, canonical JSONL (+ digest trailer), or "
+             "Chrome trace-event JSON (load in Perfetto / about:tracing)",
+    )
+    timeline.add_argument(
+        "--sample", type=float, default=1.0,
+        help="tracer sample rate for --format chrome span events",
+    )
+    timeline.add_argument(
+        "--output", metavar="PATH",
+        help="also write the selected format to PATH",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="per-stage latency attribution + DMA cost audit of a seeded "
@@ -188,6 +224,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument(
         "--output", metavar="PATH",
         help="snapshot path (default: BENCH_<name>.json)",
+    )
+    bench_run.add_argument(
+        "--timeline", metavar="PATH",
+        help="sample a windowed timeline during the bench and write the "
+             "JSONL (+ digest trailer) to PATH; the snapshot records "
+             "timeline_windows / timeline_digest (schema 3)",
+    )
+    bench_run.add_argument(
+        "--window-ns", type=float, default=2000.0,
+        help="timeline window in simulated nanoseconds",
     )
     bench_diff = bench_sub.add_parser(
         "diff",
@@ -344,6 +390,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the canonical JSON report (byte-identical across runs "
              "of the same arguments)",
     )
+    soak.add_argument(
+        "--timeline", metavar="PATH",
+        help="sample a windowed timeline during the soak and write the "
+             "JSONL (+ digest trailer) to PATH; flight-recorder dumps, "
+             "if any, land at PATH.flight.json",
+    )
+    soak.add_argument(
+        "--window-ns", type=float, default=2000.0,
+        help="timeline window in simulated nanoseconds",
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -371,6 +427,16 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--snapshot", metavar="PATH",
         help="write a BENCH_*.json snapshot of the run to PATH",
+    )
+    cluster.add_argument(
+        "--timeline", metavar="PATH",
+        help="sample a windowed timeline (per-node + cluster gauges: "
+             "epoch, alive nodes, migrating slots) and write the JSONL "
+             "(+ digest trailer) to PATH",
+    )
+    cluster.add_argument(
+        "--window-ns", type=float, default=2000.0,
+        help="timeline window in simulated nanoseconds",
     )
 
     multinic = sub.add_parser(
@@ -474,15 +540,17 @@ def _cmd_ycsb(args, out) -> int:
     return 0
 
 
-def _seeded_client_run(args, tracer=None, profiler=None):
+def _seeded_client_run(args, tracer=None, profiler=None, timeline=None):
     """One batched client run over a seeded corpus/workload/config.
 
-    Shared by ``repro metrics``, ``repro trace`` and ``repro profile``:
-    everything (store config, corpus, workload, latency distributions) is
-    derived from ``args.seed``, so two invocations with identical
-    arguments replay the identical simulation.  ``args.workload``
-    (``repro profile`` only) switches the op stream to standard YCSB-E
-    and enables the ordered index the scans need.
+    Shared by ``repro metrics``, ``repro trace``, ``repro profile`` and
+    ``repro timeline``: everything (store config, corpus, workload,
+    latency distributions) is derived from ``args.seed``, so two
+    invocations with identical arguments replay the identical
+    simulation.  ``args.workload`` (``repro profile`` only) switches the
+    op stream to standard YCSB-E and enables the ordered index the scans
+    need.  A ``timeline`` sampler, when given, is bound to the run's
+    simulator, attached as shard ``nic0`` and finished after the run.
     """
     workload = getattr(args, "workload", "ycsb")
     sim = Simulator()
@@ -505,7 +573,13 @@ def _seeded_client_run(args, tracer=None, profiler=None):
         generator = YCSBGenerator(
             keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
         )
+    if timeline is not None:
+        timeline.bind(sim)
+        timeline.attach_processor("nic0", processor)
+        timeline.start()
     stats = client.run(generator.operations(args.ops))
+    if timeline is not None:
+        timeline.finish()
     return processor, client, stats
 
 
@@ -529,6 +603,98 @@ def _cmd_trace(args, out) -> int:
     for line in tracer.render_lines():
         print(line, file=out)
     print(f"# spans={len(tracer)} digest={tracer.digest()}", file=out)
+    return 0
+
+
+def timeline_text(sampler) -> str:
+    """Canonical JSONL + digest trailer (what ``--timeline PATH`` writes)."""
+    return (
+        sampler.dumps()
+        + f"# windows={sampler.windows} digest={sampler.digest()}\n"
+    )
+
+
+def _cmd_timeline(args, out) -> int:
+    from repro.obs.timeline import TimelineSampler, sparkline
+
+    sampler = TimelineSampler(window_ns=args.window_ns)
+    want_chrome = args.format == "chrome"
+    tracer = (
+        Tracer(sample_rate=args.sample, seed=args.seed)
+        if want_chrome else None
+    )
+    if args.shards <= 1:
+        _seeded_client_run(args, tracer=tracer, timeline=sampler)
+        shard_names = ["nic0"]
+        shard_for_seq = None
+    else:
+        from repro.core.config import KVDirectConfig
+        from repro.multi import MultiNICServer
+
+        sim = Simulator()
+        server = MultiNICServer(
+            sim,
+            nic_count=args.shards,
+            config=KVDirectConfig(
+                memory_size=args.memory_mib << 20, seed=args.seed
+            ),
+            tracer=tracer,
+        )
+        keyspace = KeySpace(count=args.corpus, kv_size=args.kv_size,
+                            seed=args.seed)
+        for key, value in keyspace.pairs():
+            server.put_direct(key, value)
+        for stack in server.stacks:
+            stack.store.reset_measurements()
+        generator = YCSBGenerator(
+            keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
+        )
+        ops = list(generator.operations(args.ops))
+        shard_map = {op.seq: server.shard_of(op.key) for op in ops}
+        server.attach_timeline(sampler)
+        sampler.start()
+        server.run_clients(ops, batch_size=16)
+        sampler.finish()
+        shard_names = [stack.name for stack in server.stacks]
+        shard_for_seq = shard_map.get
+
+    if args.format == "chrome":
+        def seq_to_shard(seq):
+            return shard_for_seq(seq, 0) if shard_for_seq else 0
+
+        text = tracer.export_chrome(
+            shard_for_seq=seq_to_shard, shard_names=shard_names
+        ) + "\n"
+        print(text, file=out, end="")
+    elif args.format == "jsonl":
+        text = timeline_text(sampler)
+        print(text, file=out, end="")
+    else:
+        rows = []
+        for name in sampler.shard_names + (
+            ["all"] if len(sampler.shard_names) > 1 else []
+        ):
+            thr = sampler.series(name, "throughput_mops")
+            p99 = sampler.series(name, "latency_p99_ns")
+            peak = max((v for v in thr if v is not None), default=0.0)
+            p99s = [v for v in p99 if v is not None]
+            rows.append([name, "throughput", sparkline(thr),
+                         f"peak {peak:.2f} Mops"])
+            rows.append([name, "p99 latency", sparkline(p99),
+                         "n/a" if not p99s
+                         else f"worst {max(p99s) / 1e3:.2f} us"])
+        table = format_table(
+            f"Timeline ({sampler.windows} windows x "
+            f"{sampler.window_ns:.0f} ns)",
+            ["shard", "metric", "sparkline", "extreme"], rows,
+        )
+        print(table, file=out)
+        print(f"# windows={sampler.windows} digest={sampler.digest()}",
+              file=out)
+        text = timeline_text(sampler)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
     return 0
 
 
@@ -716,10 +882,19 @@ def _cmd_bench(args, out) -> int:
         generator = YCSBGenerator(
             keyspace, WorkloadSpec(put_ratio=args.put_ratio, seed=args.seed)
         )
+    sampler = None
+    if getattr(args, "timeline", None):
+        from repro.obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler(window_ns=args.window_ns, sim=sim)
+        sampler.attach_processor("nic0", processor)
     stats = run_closed_loop(
         processor, generator.operations(args.ops),
-        concurrency=args.concurrency,
+        concurrency=args.concurrency, timeline=sampler,
     )
+    if sampler is not None:
+        with open(args.timeline, "w") as handle:
+            handle.write(timeline_text(sampler))
     extra = {
         "seed": args.seed,
         "corpus": args.corpus,
@@ -749,6 +924,11 @@ def _cmd_bench(args, out) -> int:
         ["git rev", snapshot.git_rev],
         ["snapshot", path],
     ]
+    if sampler is not None:
+        rows.append([
+            "timeline",
+            f"{sampler.windows} windows -> {args.timeline}",
+        ])
     print(format_table("Bench snapshot", ["metric", "value"], rows),
           file=out)
     return 0
@@ -1003,7 +1183,20 @@ def _cmd_soak(args, out) -> int:
         cluster_slots=args.slots,
         kill_node=args.kill_node,
     )
-    report = run_soak(config)
+    sampler = recorder = None
+    if args.timeline:
+        from repro.obs.timeline import FlightRecorder, TimelineSampler
+
+        recorder = FlightRecorder()
+        sampler = TimelineSampler(window_ns=args.window_ns,
+                                  recorder=recorder)
+    report = run_soak(config, timeline=sampler, recorder=recorder)
+    if sampler is not None:
+        with open(args.timeline, "w") as handle:
+            handle.write(timeline_text(sampler))
+        if recorder.dumps:
+            with open(args.timeline + ".flight.json", "w") as handle:
+                handle.write(recorder.dump_json() + "\n")
     problems = report.check()
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True),
@@ -1072,12 +1265,31 @@ def _cmd_cluster(args, out) -> int:
         cluster.kill_after_accepts(
             target, max(1, int(0.4 * len(ops) / args.nodes))
         )
+    sampler = None
+    if args.timeline:
+        from repro.obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler(window_ns=args.window_ns, sim=sim)
+        cluster.attach_timeline(sampler)
+        sampler.start()
     router = ClusterRouter(sim, cluster, seed=args.seed)
     stats = router.run(ops, concurrency=args.concurrency)
+    if sampler is not None:
+        sampler.finish()
+        with open(args.timeline, "w") as handle:
+            handle.write(timeline_text(sampler))
     payload = dict(stats)
     payload["counters"] = dict(sorted(cluster.counters.snapshot().items()))
     payload["robustness"] = router.robustness_snapshot()
     payload["alive_nodes"] = cluster.alive_nodes
+    if sampler is not None:
+        # Only when --timeline is given: the default payload stays
+        # byte-identical to pre-timeline builds.
+        payload["timeline"] = {
+            "windows": sampler.windows,
+            "digest": sampler.digest(),
+            "path": args.timeline,
+        }
     if args.snapshot:
         from repro.obs import bench_history
 
@@ -1122,6 +1334,10 @@ def _cmd_cluster(args, out) -> int:
         ])
     if args.snapshot:
         rows.append(["snapshot", args.snapshot])
+    if sampler is not None:
+        rows.append(
+            ["timeline", f"{sampler.windows} windows -> {args.timeline}"]
+        )
     print(format_table("Cluster run", ["metric", "value"], rows), file=out)
     return 0
 
@@ -1193,6 +1409,7 @@ _COMMANDS = {
     "ycsb": _cmd_ycsb,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
     "profile": _cmd_profile,
     "range": _cmd_range,
     "bench": _cmd_bench,

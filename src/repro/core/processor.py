@@ -210,6 +210,10 @@ class KVProcessor:
         #: Deadline expiries per pipeline stage boundary.
         self.deadline_counters = Counter()
         self.completed = 0
+        #: Resettable per-window latency histogram, owned and swapped by
+        #: an attached :class:`~repro.obs.timeline.TimelineSampler`;
+        #: ``None`` (the default) keeps the completion path unchanged.
+        self.window_latencies: Optional[Histogram] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -503,8 +507,12 @@ class KVProcessor:
         submitted = ctx.submitted_ns
 
         def record(ev: Event) -> None:
-            self.latencies.record(self.sim.now - submitted)
+            latency = self.sim.now - submitted
+            self.latencies.record(latency)
             self.completed += 1
+            window = self.window_latencies
+            if window is not None:
+                window.record(latency)
 
         event.add_callback(record)
 

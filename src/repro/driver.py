@@ -100,17 +100,39 @@ def _wall_fields(operations: int, wall_clock_s: float) -> Dict[str, float]:
     }
 
 
+def _timeline_fields(timeline) -> Dict[str, object]:
+    """Timeline context for the run-stats dict (BENCH schema v3).
+
+    Nullable by design: a run without an attached sampler reports
+    ``None`` for both fields, and the bench diff gate never compares
+    them - they are context, like ``wall_clock_s``, not a gated metric.
+    """
+    if timeline is None:
+        return {"timeline_windows": None, "timeline_digest": None}
+    return {
+        "timeline_windows": float(timeline.windows),
+        "timeline_digest": timeline.digest(),
+    }
+
+
 def run_closed_loop(
     processor,
     ops: Sequence[KVOperation],
     concurrency: int = 128,
+    timeline=None,
 ) -> Dict[str, float]:
     """Drive one processor with a fixed number of outstanding operations.
 
     Returns throughput and latency statistics - the measurement loop
-    behind Figures 13, 14, 16 and 17.
+    behind Figures 13, 14, 16 and 17.  Pass an attached
+    :class:`~repro.obs.timeline.TimelineSampler` as ``timeline`` to
+    sample windowed metrics during the run; its window count and digest
+    land in the stats (``None`` without one).
     """
     sim = processor.sim
+    if timeline is not None:
+        timeline.bind(sim)
+        timeline.start()
     pending = list(reversed(ops))
     done = sim.event()
     state = {"remaining": len(ops)}
@@ -127,6 +149,8 @@ def run_closed_loop(
         done.succeed()
     _run_paused_gc(sim, done)
     wall_clock_s = time.perf_counter() - wall_start
+    if timeline is not None:
+        timeline.finish()
     elapsed = sim.now - start
     stats: Dict[str, float] = {
         "operations": float(len(ops)),
@@ -135,6 +159,7 @@ def run_closed_loop(
     }
     stats.update(_latency_fields(processor.latencies))
     stats.update(_wall_fields(len(ops), wall_clock_s))
+    stats.update(_timeline_fields(timeline))
     return stats
 
 
@@ -143,6 +168,7 @@ def run_closed_loop_sharded(
     ops: Sequence[KVOperation],
     concurrency_per_nic: int = 128,
     scan_results: Optional[Dict[int, bytes]] = None,
+    timeline=None,
 ) -> Dict[str, float]:
     """Drive every shard of a sharded server concurrently.
 
@@ -163,6 +189,9 @@ def run_closed_loop_sharded(
     are seed-stable (same seed, same bytes, any shard count).
     """
     sim = server.sim
+    if timeline is not None:
+        timeline.bind(sim)
+        timeline.start()
     shards: List[List[KVOperation]] = [[] for __ in range(server.nic_count)]
     scans: Dict[int, KVOperation] = {}
     for op, shard in zip(
@@ -221,6 +250,8 @@ def run_closed_loop_sharded(
                 with_values=op.op.name == "RANGE",
             )
     wall_clock_s = time.perf_counter() - wall_start
+    if timeline is not None:
+        timeline.finish()
     elapsed = sim.now - start
     merged = Histogram()
     for processor in server.processors:
@@ -234,4 +265,5 @@ def run_closed_loop_sharded(
     }
     stats.update(_latency_fields(merged))
     stats.update(_wall_fields(len(ops), wall_clock_s))
+    stats.update(_timeline_fields(timeline))
     return stats

@@ -167,6 +167,7 @@ class ClusterNode:
             f"{self.name}.kill", "node_kill", 1.0, self.sim.now,
             detail=reason,
         )
+        self.cluster.annotate("cluster.node_kill", f"{self.name} {reason}")
 
     def _nack(self, exc: KVDirectError) -> Event:
         self.cluster.counters.add(
@@ -323,6 +324,9 @@ class Cluster:
         self.counters = Counter()
         self.replication_lag_ns = Histogram()
         self.failover_time_ns = Histogram()
+        #: Kept for failover/migration annotations (Perfetto instant
+        #: events via :meth:`Tracer.annotate`); never affects span goldens.
+        self.tracer = tracer
         #: Node-level fault sites (``node<i>.kill`` / ``node<i>.stall``)
         #: share one injector with per-site RNG streams; scheduled kills
         #: also land here so the fault log covers them.
@@ -445,10 +449,16 @@ class Cluster:
         while self.channels[slot].pending:
             yield self.sim.timeout(self.poll_ns)
 
+    def annotate(self, name: str, detail: str = "") -> None:
+        """Forward an instant-event marker to the tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.annotate(name, detail)
+
     def _fail_over(self, node_id: int):
         """The failover process: drain, promote, bump, re-replicate."""
         started = self.sim.now
         node = self.nodes[node_id]
+        self.annotate("cluster.failover_start", f"node{node_id}")
         # In-flight ops at the dead node settle normally (their acks
         # were or will be delivered), and each settled write enqueues its
         # replication record - wait for all of them before draining.
@@ -472,6 +482,7 @@ class Cluster:
             self.counters.add("promotions")
         self.map.bump()
         self.counters.add("epoch_bumps")
+        self.annotate("cluster.epoch_bump", f"epoch={self.map.epoch}")
         # Re-establish the replication factor for every slot the dead
         # node touched; each slot stays write-blocked during its copy so
         # the snapshot cannot race concurrent writes.
@@ -513,9 +524,17 @@ class Cluster:
                 primary=owner, backup=new_backup
             )
             self.migrating_slots.discard(slot)
+            self.annotate(
+                "cluster.slot_migrated",
+                f"slot={slot} keys={len(snapshot)} backup=node{new_backup}",
+            )
         self.failover_time_ns.record(self.sim.now - started)
         self.counters.add("failovers")
         self._failovers_active -= 1
+        self.annotate(
+            "cluster.failover_done",
+            f"node{node_id} took={self.sim.now - started:.0f}ns",
+        )
 
     # -- settling ----------------------------------------------------------
 
@@ -616,3 +635,9 @@ class Cluster:
             for node in self.nodes:
                 node.stack.register_metrics(registry)
         return registry
+
+    def attach_timeline(self, sampler, include_nodes: bool = True) -> None:
+        """Attach cluster gauges (and each node's processor) to a
+        timeline sampler."""
+        sampler.bind(self.sim)
+        sampler.attach_cluster(self, include_nodes=include_nodes)

@@ -103,13 +103,22 @@ class MultiNICServer:
         return self.router(**client_kwargs).run(ops)
 
     def run_closed_loop(
-        self, ops: List[KVOperation], concurrency_per_nic: int = 128
+        self,
+        ops: List[KVOperation],
+        concurrency_per_nic: int = 128,
+        timeline=None,
     ) -> Dict[str, float]:
         """Drive all NICs concurrently (direct submit); returns aggregate
         statistics via the shared closed-loop harness."""
         return run_closed_loop_sharded(
-            self, ops, concurrency_per_nic=concurrency_per_nic
+            self, ops, concurrency_per_nic=concurrency_per_nic,
+            timeline=timeline,
         )
+
+    def attach_timeline(self, sampler) -> None:
+        """Attach every stack to a timeline sampler (``nic<i>`` series)."""
+        sampler.bind(self.sim)
+        sampler.attach_server(self)
 
     def register_metrics(
         self, registry: Optional[MetricsRegistry] = None

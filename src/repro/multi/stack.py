@@ -112,3 +112,9 @@ class ServerStack:
         registry = registry if registry is not None else MetricsRegistry()
         scope = self.name if prefix is None else prefix
         return self.processor.register_metrics(registry, prefix=scope)
+
+    def attach_timeline(self, sampler, name: Optional[str] = None) -> None:
+        """Attach this stack's processor to a timeline sampler as a
+        series named after the stack (or ``name``)."""
+        sampler.bind(self.sim)
+        sampler.attach_processor(name or self.name, self.processor)

@@ -17,12 +17,24 @@ front door:
   attribution (table accesses, PCIe TLPs, NIC-DRAM cache events), with
   the DMA-per-op audit in :mod:`repro.obs.attribution` and the benchmark
   snapshot history in :mod:`repro.obs.bench_history`.
+- :class:`TimelineSampler` / :class:`FlightRecorder` — windowed
+  simulated-time metric sampling (deterministic JSONL series per shard
+  and cluster-wide) and an anomaly-triggered ring-buffer dump of the
+  last N spans + windows; see :mod:`repro.obs.timeline`.
 
 See ``docs/OBSERVABILITY.md`` for the naming scheme and span schema.
 """
 
 from repro.obs.profiler import StageProfiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import FlightRecorder, TimelineSampler
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["MetricsRegistry", "Span", "StageProfiler", "Tracer"]
+__all__ = [
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Span",
+    "StageProfiler",
+    "TimelineSampler",
+    "Tracer",
+]

@@ -16,7 +16,11 @@ nondeterministic fields - ``wall_clock_s`` and ``sim_ops_per_wall_s`` -
 so interpreter-speed regressions in the simulator itself are visible
 next to the simulated numbers; they are nullable, excluded from
 determinism comparisons, and a ``None`` on either side of a diff never
-gates.  Schema-1 files (no wall fields) still load and diff.
+gates.  Schema 3 adds timeline context the same way:
+``timeline_windows`` / ``timeline_digest`` record whether (and what) a
+:class:`~repro.obs.timeline.TimelineSampler` observed during the run -
+both null when the timeline was off, and never part of the diff gate.
+Schema-1/2 files (no wall / timeline fields) still load and diff.
 ``tools/check_bench.py`` lints any ``BENCH_*.json`` against
 :func:`validate`.
 """
@@ -30,9 +34,10 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 #: Current snapshot schema version.
-SCHEMA_VERSION = 2
-#: Schema versions :func:`validate` accepts (1 predates wall-clock fields).
-SUPPORTED_SCHEMAS = (1, 2)
+SCHEMA_VERSION = 3
+#: Schema versions :func:`validate` accepts (1 predates wall-clock
+#: fields, 2 predates timeline fields).
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: Metrics where larger is better (may drop by at most the tolerance).
 #: ``sim_ops_per_wall_s`` is None in schema-1 baselines, so it reports
@@ -72,6 +77,11 @@ class BenchSnapshot:
     wall_clock_s: Optional[float] = None
     #: Simulated ops completed per wall-clock second (schema 2).
     sim_ops_per_wall_s: Optional[float] = None
+    #: Timeline windows sampled during the run (schema 3; None when the
+    #: timeline was off).  Context only - never gated by ``bench diff``.
+    timeline_windows: Optional[float] = None
+    #: SHA-256 of the run's timeline JSONL (schema 3; None when off).
+    timeline_digest: Optional[str] = None
     #: Free-form context (workload parameters, per-class breakdowns...).
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -136,6 +146,8 @@ def snapshot_from_run(
         config_digest=config_digest(processor.config),
         wall_clock_s=stats.get("wall_clock_s"),
         sim_ops_per_wall_s=stats.get("sim_ops_per_wall_s"),
+        timeline_windows=stats.get("timeline_windows"),
+        timeline_digest=stats.get("timeline_digest"),
         extra=dict(extra or {}),
     )
 
@@ -163,10 +175,13 @@ def validate(data: dict) -> List[str]:
         if not isinstance(value, types) or isinstance(value, bool):
             problems.append(f"field {key!r} must be {types}, got {value!r}")
     nullable = ["latency_p50_ns", "latency_p95_ns", "latency_p99_ns"]
-    if schema == 2:
+    if isinstance(schema, int) and schema >= 2:
         # Wall-clock fields are required (but nullable) from schema 2 on;
         # schema-1 files predate them and may omit them entirely.
         nullable += ["wall_clock_s", "sim_ops_per_wall_s"]
+    if isinstance(schema, int) and schema >= 3:
+        # Timeline fields are required (but nullable) from schema 3 on.
+        nullable += ["timeline_windows"]
     for key in nullable:
         if key not in data:
             problems.append(f"missing field {key!r}")
@@ -174,6 +189,15 @@ def validate(data: dict) -> List[str]:
             data[key], (int, float)
         ):
             problems.append(f"field {key!r} must be a number or null")
+    if isinstance(schema, int) and schema >= 3:
+        if "timeline_digest" not in data:
+            problems.append("missing field 'timeline_digest'")
+        elif data["timeline_digest"] is not None and not isinstance(
+            data["timeline_digest"], str
+        ):
+            problems.append(
+                "field 'timeline_digest' must be a string or null"
+            )
     if "extra" in data and not isinstance(data["extra"], dict):
         problems.append("field 'extra' must be an object")
     return problems

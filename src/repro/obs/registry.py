@@ -158,21 +158,36 @@ class MetricsRegistry:
         Counters and cache hit counts become ``counter`` families;
         histograms become ``summary`` families with quantile labels;
         gauges and derived rates become ``gauge`` families.
+
+        Every family name - including derived ones like the cache
+        ``*_hit_rate`` gauge - is routed through :func:`_prom_sanitize`,
+        and a ``# TYPE`` line is emitted at most once per family: a
+        :class:`CacheStats` registered as ``x`` derives the same
+        ``<ns>_x_hit_rate`` family an independently registered
+        ``x.hit_rate`` gauge maps to, and a re-declaration would be
+        rejected by scrapers (and ``tools/check_prom.py``).
         """
         lines: List[str] = []
+        declared: set = set()
+
+        def declare(family: str, kind: str) -> None:
+            if family not in declared:
+                declared.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+
         for name, (kind, source) in sorted(self._sources.items()):
             base = f"{self.namespace}_{_prom_sanitize(name)}"
             if kind == "counter":
                 snapshot = source.snapshot()
                 if not snapshot:
                     continue
-                lines.append(f"# TYPE {base} counter")
+                declare(base, "counter")
                 for key, value in sorted(snapshot.items()):
                     lines.append(
                         f"{base}_{_prom_sanitize(key)} {_prom_value(value)}"
                     )
             elif kind == "histogram":
-                lines.append(f"# TYPE {base} summary")
+                declare(base, "summary")
                 if source.count:
                     for pct in _HIST_PERCENTILES:
                         lines.append(
@@ -183,16 +198,18 @@ class MetricsRegistry:
                     lines.append(f"{base}_sum {_prom_value(total)}")
                 lines.append(f"{base}_count {source.count}")
             elif kind == "cache":
-                lines.append(f"# TYPE {base} counter")
+                declare(base, "counter")
                 for key in ("hits", "misses", "evictions", "writebacks"):
                     lines.append(
-                        f"{base}_{key} {_prom_value(getattr(source, key))}"
+                        f"{base}_{_prom_sanitize(key)} "
+                        f"{_prom_value(getattr(source, key))}"
                     )
-                lines.append(f"# TYPE {base}_hit_rate gauge")
-                lines.append(
-                    f"{base}_hit_rate {_prom_value(source.hit_rate())}"
+                rate = (
+                    f"{self.namespace}_{_prom_sanitize(f'{name}.hit_rate')}"
                 )
+                declare(rate, "gauge")
+                lines.append(f"{rate} {_prom_value(source.hit_rate())}")
             else:  # gauge
-                lines.append(f"# TYPE {base} gauge")
+                declare(base, "gauge")
                 lines.append(f"{base} {_prom_value(float(source()))}")
         return "\n".join(lines) + "\n"

@@ -19,8 +19,9 @@ operations are sampled, and the decision is identical across processes.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.hashing import fnv1a64
 from repro.errors import ConfigurationError
@@ -99,6 +100,14 @@ class Tracer:
         #: Spans emitted per stage (registrable as ``trace`` metrics).
         self.counters = Counter()
         self._decisions: Dict[int, bool] = {}
+        #: Optional :class:`~repro.obs.timeline.FlightRecorder` mirror;
+        #: every emitted span is also pushed into its ring buffer.
+        self.recorder = None
+        #: Out-of-band instant events (fault/failover/migration markers).
+        #: These are *not* part of the span log or its digest - they only
+        #: surface in :meth:`export_chrome` - so annotating never perturbs
+        #: golden traces.
+        self.annotations: List[Tuple[str, float, str]] = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the sim-time source, if none was given at construction."""
@@ -132,8 +141,21 @@ class Tracer:
         if not self.sampled(seq):
             return
         at_ns = self.clock() if self.clock is not None else UNTIMED
-        self.spans.append(Span(len(self.spans), seq, stage, at_ns, detail))
+        span = Span(len(self.spans), seq, stage, at_ns, detail)
+        self.spans.append(span)
         self.counters.add(stage)
+        if self.recorder is not None:
+            self.recorder.record_span(span)
+
+    def annotate(self, name: str, detail: str = "") -> None:
+        """Record an out-of-band instant event (e.g. ``cluster.failover``).
+
+        Unconditional (not sampled) and excluded from the span log and
+        digest; rendered as a global instant event by
+        :meth:`export_chrome`.
+        """
+        at_ns = self.clock() if self.clock is not None else UNTIMED
+        self.annotations.append((name, at_ns, detail))
 
     # -- export -------------------------------------------------------------
 
@@ -156,7 +178,94 @@ class Tracer:
         """
         return hashlib.sha256(self.dumps().encode()).hexdigest()
 
+    def export_chrome(
+        self,
+        shard_for_seq: Optional[Callable[[int], int]] = None,
+        shard_names: Optional[List[str]] = None,
+    ) -> str:
+        """The span log as Chrome trace-event JSON (loadable in Perfetto).
+
+        Each shard is a *process* (``pid``), each top-level stage
+        component (``station``, ``pcie``, ``mem``, ...) a *thread* track
+        within it; every span becomes a thread-scoped instant event at
+        its simulated timestamp (microseconds on the Chrome axis, so 1 ns
+        of sim time = 1 us on screen).  :meth:`annotate` markers become
+        global instant events.  ``shard_for_seq`` maps an op seq to its
+        shard index (default: everything on shard 0; internal seq -1
+        always lands on shard 0); ``shard_names`` labels the process
+        tracks.  Output is canonical JSON - byte-identical across seeded
+        runs.
+        """
+        shard_of = shard_for_seq if shard_for_seq is not None else (
+            lambda seq: 0
+        )
+
+        def track(stage: str) -> str:
+            return stage.split(".", 1)[0]
+
+        def ts(at_ns: float) -> float:
+            return 0.0 if at_ns < 0 else at_ns / 1000.0
+
+        placed = [
+            (max(0, shard_of(span.seq)) if span.seq >= 0 else 0, span)
+            for span in self.spans
+        ]
+        pids = sorted({pid for pid, __ in placed})
+        tracks = sorted({track(span.stage) for __, span in placed})
+        tids = {name: index + 1 for index, name in enumerate(tracks)}
+        events: List[dict] = []
+        for pid in pids:
+            label = (
+                shard_names[pid]
+                if shard_names is not None and pid < len(shard_names)
+                else f"shard{pid}"
+            )
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+            for name in tracks:
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tids[name], "args": {"name": name},
+                })
+        for pid, span in placed:
+            event = {
+                "name": span.stage,
+                "cat": track(span.stage),
+                "ph": "i",
+                "s": "t",
+                "ts": ts(span.at_ns),
+                "pid": pid,
+                "tid": tids[track(span.stage)],
+                "args": {"seq": span.seq},
+            }
+            if span.detail:
+                event["args"]["detail"] = span.detail
+            if span.at_ns < 0:
+                event["args"]["untimed"] = True
+            events.append(event)
+        for name, at_ns, detail in self.annotations:
+            event = {
+                "name": name,
+                "cat": "annotation",
+                "ph": "i",
+                "s": "g",
+                "ts": ts(at_ns),
+                "pid": pids[0] if pids else 0,
+                "tid": 0,
+                "args": {},
+            }
+            if detail:
+                event["args"]["detail"] = detail
+            events.append(event)
+        return json.dumps(
+            {"displayTimeUnit": "ns", "traceEvents": events},
+            sort_keys=True,
+        )
+
     def reset(self) -> None:
         """Clear collected spans (not the sampling decisions or seed)."""
         self.spans.clear()
         self.counters.reset()
+        self.annotations.clear()

@@ -331,6 +331,18 @@ class Simulator:
             _heappush(self._queue, (when, self._sequence, event))
         return event
 
+    def call_at(self, when: float, callback: Callable) -> Event:
+        """Run ``callback(event)`` at absolute time ``when``.
+
+        Convenience over :meth:`schedule_at` for periodic observers (the
+        timeline sampler's window tick): the callback fires in event-loop
+        order at ``when``, after any earlier-scheduled events at the same
+        instant.  Returns the underlying event.
+        """
+        event = Event(self)
+        event.add_callback(callback)
+        return self.schedule_at(event, when)
+
     # -- factories ---------------------------------------------------------
 
     def event(self) -> Event:

@@ -42,7 +42,7 @@ class TestSnapshot:
         assert text.endswith("\n")
         data = json.loads(text)
         assert list(data) == sorted(data)
-        assert data["schema"] == 2
+        assert data["schema"] == 3
 
     def test_save_load_roundtrip(self, tmp_path):
         path = tmp_path / "BENCH_small-ycsb.json"
@@ -69,6 +69,19 @@ class TestSnapshot:
         assert loaded.schema == 1
         assert loaded.wall_clock_s is None
         assert loaded.sim_ops_per_wall_s is None
+
+    def test_schema2_file_still_loads(self, tmp_path):
+        """v2 snapshots (no timeline fields) load and default to None."""
+        path = tmp_path / "BENCH_v2.json"
+        data = json.loads(_snapshot().to_json())
+        data["schema"] = 2
+        del data["timeline_windows"]
+        del data["timeline_digest"]
+        path.write_text(json.dumps(data))
+        loaded = load_snapshot(str(path))
+        assert loaded.schema == 2
+        assert loaded.timeline_windows is None
+        assert loaded.timeline_digest is None
 
     def test_git_rev_is_rev_or_unknown(self):
         rev = git_rev()
@@ -110,6 +123,35 @@ class TestValidate:
         data["schema"] = 1
         del data["wall_clock_s"]
         del data["sim_ops_per_wall_s"]
+        del data["timeline_windows"]
+        del data["timeline_digest"]
+        assert validate(data) == []
+
+    def test_schema3_requires_timeline_fields(self):
+        data = json.loads(_snapshot().to_json())
+        del data["timeline_windows"]
+        del data["timeline_digest"]
+        problems = validate(data)
+        assert any("timeline_windows" in p for p in problems)
+        assert any("timeline_digest" in p for p in problems)
+
+    def test_schema2_timeline_fields_optional(self):
+        data = json.loads(_snapshot().to_json())
+        data["schema"] = 2
+        del data["timeline_windows"]
+        del data["timeline_digest"]
+        assert validate(data) == []
+
+    def test_timeline_digest_must_be_string_or_null(self):
+        data = json.loads(_snapshot().to_json())
+        data["timeline_digest"] = 7
+        problems = validate(data)
+        assert any("timeline_digest" in p for p in problems)
+
+    def test_null_timeline_fields_allowed(self):
+        data = json.loads(_snapshot().to_json())
+        assert data["timeline_windows"] is None
+        assert data["timeline_digest"] is None
         assert validate(data) == []
 
     def test_null_wall_fields_allowed(self):
@@ -236,7 +278,9 @@ class TestSnapshotFromRun:
         assert snapshot.operations == 200
         assert snapshot.dma_per_op > 0.0
         assert snapshot.config_digest == config_digest(processor.config)
-        assert snapshot.schema == 2
+        assert snapshot.schema == 3
+        assert snapshot.timeline_windows is None
+        assert snapshot.timeline_digest is None
         assert snapshot.wall_clock_s is not None
         assert snapshot.wall_clock_s > 0.0
         assert snapshot.sim_ops_per_wall_s is not None

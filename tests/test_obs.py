@@ -127,6 +127,32 @@ class TestRegistryExport:
         assert "kvdirect_a_b_c 1" in text
         assert "a.b.c" not in text
 
+    def test_prometheus_sanitizes_derived_hit_rate_family(self):
+        # The cache's derived `<name>.hit_rate` gauge family must be
+        # sanitized like every other family name.
+        registry = MetricsRegistry()
+        cache = registry.register("dram.cache", CacheStats())
+        cache.hits, cache.misses = 3, 1
+        text = registry.to_prometheus()
+        assert "# TYPE kvdirect_dram_cache_hit_rate gauge" in text
+        assert "kvdirect_dram_cache_hit_rate 0.75" in text
+        assert "dram.cache" not in text
+
+    def test_prometheus_dedupes_colliding_type_lines(self):
+        # A cache named `x` derives a `x.hit_rate` gauge family; a
+        # user-registered gauge of the same name must not produce a
+        # second `# TYPE` line for it.
+        registry = MetricsRegistry()
+        cache = registry.register("x", CacheStats())
+        cache.hits, cache.misses = 1, 1
+        registry.register_gauge("x.hit_rate", lambda: 0.5)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE kvdirect_x_hit_rate gauge") == 1
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+
 
 class TestTracerUnit:
     def test_invalid_rate_rejected(self):
@@ -261,6 +287,26 @@ class TestTraceSampling:
     def test_rate_zero_traces_no_ops(self):
         __, __, tracer = _traced_run(seed=2, sample=0.0)
         assert len(tracer) == 0
+
+    def test_rate_zero_digest_is_stable_and_empty(self):
+        # An entirely unsampled run still has a well-defined digest (of
+        # the empty log) and it is identical across runs and seeds.
+        __, __, first = _traced_run(seed=2, sample=0.0)
+        __, __, second = _traced_run(seed=9, sample=0.0)
+        assert first.dumps() == ""
+        assert first.digest() == second.digest()
+        assert first.digest() == Tracer(sample_rate=0.0).digest()
+
+    def test_sampled_sets_nest_as_rate_rises(self):
+        # Raising the rate only ever adds operations: the hash draw per
+        # seq is fixed, so sampled(0.2) <= sampled(0.5) <= sampled(0.8).
+        sets = {}
+        for rate in (0.2, 0.5, 0.8):
+            tracer = Tracer(sample_rate=rate, seed=7)
+            sets[rate] = {s for s in range(2000) if tracer.sampled(s)}
+        assert sets[0.2] < sets[0.5] < sets[0.8]
+        for rate, seqs in sets.items():
+            assert abs(len(seqs) / 2000 - rate) < 0.05
 
     def test_rate_one_traces_every_op(self):
         __, __, tracer = _traced_run(seed=2, ops=60, sample=1.0)

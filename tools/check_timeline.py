@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Lint a ``repro timeline`` export.
+
+Two modes, matching the two machine-readable formats the CLI emits:
+
+JSONL (default) - the windowed-telemetry timeline written by
+``repro timeline --format jsonl`` / ``--timeline PATH``.  Checks:
+
+* every data line parses as a JSON object and is *canonical* -
+  byte-equal to ``json.dumps(obj, sort_keys=True)`` - so two runs can
+  be compared with ``cmp``;
+* every row carries the ``shard``/``window``/``start_ns``/``end_ns``
+  core fields, windows are contiguous per shard (start = previous end)
+  and window indices never decrease;
+* the ``# windows=N digest=...`` trailer (when present) matches the
+  recomputed row count and SHA-256 over the data lines - the same
+  digest :meth:`TimelineSampler.digest` reports;
+* the file contains at least one row.
+
+``--chrome`` - the Chrome trace-event JSON written by
+``repro timeline --format chrome`` (``Tracer.export_chrome``).  Checks
+the top-level object shape, that every event carries ``name``/``ph``/
+``pid``/``tid``, uses a known phase (``M`` metadata or ``i`` instant),
+and that instant events have finite numeric ``ts``.
+
+Exits 0 when clean; prints every violation and exits 1 otherwise.
+
+Usage::
+
+    python tools/check_timeline.py timeline.jsonl [more.jsonl ...]
+    python tools/check_timeline.py --chrome trace.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import re
+import sys
+from typing import List
+
+#: Fields every timeline row must carry.
+CORE_FIELDS = ("shard", "window", "start_ns", "end_ns")
+
+_TRAILER_RE = re.compile(r"^# windows=(\d+) digest=([0-9a-f]{64})$")
+
+#: Chrome trace-event phases the exporter emits.
+KNOWN_PHASES = {"M", "i"}
+
+
+def lint(path: str) -> List[str]:
+    """All violations in one timeline JSONL file (empty list = clean)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    errors: List[str] = []
+
+    def err(lineno: int, message: str) -> None:
+        errors.append(f"{path}:{lineno}: {message}")
+
+    rows = 0
+    max_window = -1
+    #: shard -> end_ns of its previous row (windows must be contiguous).
+    closed: dict = {}
+    hasher = hashlib.sha256()
+    trailer = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _TRAILER_RE.match(line)
+            if match is None:
+                err(lineno, f"malformed trailer comment: {line!r}")
+            elif trailer is not None:
+                err(lineno, "duplicate digest trailer")
+            else:
+                trailer = (int(match.group(1)), match.group(2), lineno)
+            continue
+        if trailer is not None:
+            err(lineno, "data line after the digest trailer")
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            err(lineno, f"invalid JSON: {exc}")
+            continue
+        if not isinstance(row, dict):
+            err(lineno, "row is not a JSON object")
+            continue
+        canonical = json.dumps(row, sort_keys=True)
+        if line != canonical:
+            err(lineno, "row is not canonical JSON "
+                        "(json.dumps(..., sort_keys=True))")
+        rows += 1
+        hasher.update(line.encode())
+        hasher.update(b"\n")
+        missing = [key for key in CORE_FIELDS if key not in row]
+        if missing:
+            err(lineno, f"missing core fields: {', '.join(missing)}")
+            continue
+        window = row["window"]
+        start, end = row["start_ns"], row["end_ns"]
+        for key, value in (("start_ns", start), ("end_ns", end)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                err(lineno, f"{key} must be a number, got {value!r}")
+                break
+        else:
+            if end < start:
+                err(lineno, f"window ends before it starts "
+                            f"({start} .. {end})")
+            if window < max_window:
+                err(lineno, f"window index went backwards "
+                            f"({max_window} -> {window})")
+            max_window = max(max_window, window)
+            shard = row["shard"]
+            prev_end = closed.get(shard)
+            if prev_end is not None and start != prev_end:
+                err(lineno, f"shard {shard!r} windows not contiguous: "
+                            f"starts at {start}, previous ended {prev_end}")
+            closed[shard] = end
+    if rows == 0:
+        errors.append(f"{path}: no timeline rows found")
+    if trailer is not None:
+        windows, digest, lineno = trailer
+        if max_window >= 0 and windows != max_window + 1:
+            err(lineno, f"trailer says windows={windows}, rows cover "
+                        f"{max_window + 1}")
+        recomputed = hasher.hexdigest()
+        if digest != recomputed:
+            err(lineno, f"trailer digest {digest} != recomputed "
+                        f"{recomputed}")
+    return errors
+
+
+def lint_chrome(path: str) -> List[str]:
+    """All violations in one Chrome trace-event JSON export."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    except ValueError as exc:
+        return [f"{path}: invalid JSON: {exc}"]
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"{path}: top level must be a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing traceEvents list"]
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+    instants = 0
+    for index, event in enumerate(events):
+        where = f"{path}: traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+        if phase == "i":
+            instants += 1
+            ts = event.get("ts")
+            if (
+                not isinstance(ts, (int, float))
+                or isinstance(ts, bool)
+                or math.isnan(ts)
+                or math.isinf(ts)
+            ):
+                errors.append(f"{where}: instant event needs a finite "
+                              f"numeric ts, got {ts!r}")
+            elif ts < 0:
+                errors.append(f"{where}: negative ts {ts!r}")
+    if events and instants == 0:
+        errors.append(f"{path}: no instant events (only metadata)")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    chrome = False
+    if argv and argv[0] == "--chrome":
+        chrome = True
+        argv = argv[1:]
+    if not argv:
+        print("usage: check_timeline.py [--chrome] FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    check = lint_chrome if chrome else lint
+    failures = 0
+    for path in argv:
+        errors = check(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
